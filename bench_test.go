@@ -1,0 +1,150 @@
+package npf
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§6), driving the same runners as cmd/npfbench at reduced sizes. The
+// custom metrics attached to each benchmark are the figures' headline
+// numbers, so `go test -bench=.` doubles as a regression check on the
+// reproduction. Full-size runs: `go run ./cmd/npfbench`.
+
+import (
+	"testing"
+
+	"npf/internal/bench"
+	"npf/internal/sim"
+)
+
+func BenchmarkFig3NPFBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig3(30)
+		b.ReportMetric(r.NPF["4KB"].Total, "µs/4KB-NPF")
+		b.ReportMetric(r.NPF["4MB"].Total, "µs/4MB-NPF")
+	}
+}
+
+func BenchmarkFig3Invalidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig3(10)
+		b.ReportMetric(r.InvalidationMapped, "µs/mapped-inval")
+		b.ReportMetric(r.InvalidationFast, "µs/fast-inval")
+	}
+}
+
+func BenchmarkTable4TailLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunTable4(500)
+		b.ReportMetric(r.Rows["4KB"].P99, "µs/p99-4KB")
+		b.ReportMetric(r.Rows["4KB"].Max, "µs/max-4KB")
+	}
+}
+
+func BenchmarkFig4aColdRing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig4a(20 * sim.Second)
+		// Headline: how much throughput the drop config lost in the first
+		// 10 seconds relative to pinning.
+		lost := seriesSum(r.Series["pin"], 10) - seriesSum(r.Series["drop"], 10)
+		b.ReportMetric(lost, "KTPSs-lost-to-cold-ring")
+	}
+}
+
+func seriesSum(pts [][2]float64, untilSec float64) float64 {
+	total := 0.0
+	for _, p := range pts {
+		if p[0] < untilSec {
+			total += p[1]
+		}
+	}
+	return total
+}
+
+func BenchmarkFig4bRingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig4b(1000, []int{16, 128}, 120*sim.Second)
+		b.ReportMetric(r.Seconds["drop"][0], "s/drop-ring16")
+		b.ReportMetric(r.Seconds["backup"][0], "s/backup-ring16")
+	}
+}
+
+func BenchmarkTable5Overcommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunTable5()
+		b.ReportMetric(r.KTPS["NPF"][3], "KTPS/npf-4vm")
+		b.ReportMetric(r.KTPS["pinning"][2], "KTPS/pin-3vm(-1=N/A)")
+	}
+}
+
+func BenchmarkFig7DynamicWorkingSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig7()
+		npfEnd := lastCombined(r.Series["npf"])
+		pinEnd := lastCombined(r.Series["pin"])
+		b.ReportMetric(npfEnd, "KHPS/npf-combined")
+		b.ReportMetric(pinEnd, "KHPS/pin-combined")
+	}
+}
+
+func lastCombined(pair [2][][2]float64) float64 {
+	n := len(pair[0])
+	if len(pair[1]) < n {
+		n = len(pair[1])
+	}
+	if n == 0 {
+		return 0
+	}
+	return pair[0][n-1][1] + pair[1][n-1][1]
+}
+
+func BenchmarkFig8aStorageBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig8a()
+		b.ReportMetric(r.NPF[0], "GBps/npf-4GB")
+		b.ReportMetric(r.NPF[len(r.NPF)-1], "GBps/npf-8GB")
+	}
+}
+
+func BenchmarkFig8bStorageMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig8b()
+		last := len(r.Sessions) - 1
+		b.ReportMetric(r.NPF64KB[last], "GB/npf-64KB-80sess")
+		b.ReportMetric(r.Pin[last], "GB/pin-80sess")
+	}
+}
+
+func BenchmarkFig9IMB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig9(4, 30)
+		last := len(r.SizesKB) - 1
+		copyT := r.Seconds["alltoall"]["copy"][last]
+		pinT := r.Seconds["alltoall"]["pin"][last]
+		npfT := r.Seconds["alltoall"]["npf"][last]
+		b.ReportMetric(copyT/pinT, "x/copy-over-pin-128KB")
+		b.ReportMetric(npfT/pinT, "x/npf-over-pin-128KB")
+	}
+}
+
+func BenchmarkTable6Beff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunTable6(4)
+		b.ReportMetric(r.MBps["npf"], "MBps/npf")
+		b.ReportMetric(r.MBps["pin"], "MBps/pin")
+		b.ReportMetric(r.MBps["copy"], "MBps/copy")
+	}
+}
+
+func BenchmarkFig10WhatIf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunFig10()
+		b.ReportMetric(r.MinorBrng[0], "Gbps/brng-minor-2^-8")
+		b.ReportMetric(r.MinorDrop[0], "Gbps/drop-minor-2^-8")
+		b.ReportMetric(100*r.IBMinor[0]/r.IBOptimum, "%/ib-minor-2^-8")
+	}
+}
+
+func BenchmarkAblatePrefetch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := bench.RunAblate()
+		b.ReportMetric(r.BatchedMs, "ms/batched-4MB")
+		b.ReportMetric(r.PagewiseMs, "ms/pagewise-4MB")
+	}
+}

@@ -1,0 +1,99 @@
+package npf
+
+import (
+	"npf/internal/core"
+	"npf/internal/fabric"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+)
+
+// Cluster is a convenience wrapper bundling an engine, a fabric, and host
+// construction — the few lines every simulation starts with.
+type Cluster struct {
+	Eng *Engine
+	Net *Network
+}
+
+// NewCluster creates an engine and fabric in one call.
+func NewCluster(seed int64, cfg FabricConfig) *Cluster {
+	eng := sim.NewEngine(seed)
+	return &Cluster{Eng: eng, Net: fabric.New(eng, cfg)}
+}
+
+// Host is one machine: memory, an NPF driver, and optionally a NIC and/or
+// an HCA.
+type Host struct {
+	Name    string
+	Machine *Machine
+	Driver  *Driver
+	NIC     *Device
+	HCA     *HCA
+
+	cluster *Cluster
+}
+
+// NewHost adds a machine with ramBytes of memory and an NPF driver.
+func (c *Cluster) NewHost(name string, ramBytes int64) *Host {
+	return &Host{
+		Name:    name,
+		Machine: mem.NewMachine(c.Eng, ramBytes),
+		Driver:  core.NewDriver(c.Eng, core.DefaultConfig()),
+		cluster: c,
+	}
+}
+
+// AttachNIC gives the host an Ethernet NIC wired to its driver.
+func (h *Host) AttachNIC() *Device {
+	h.NIC = nic.NewDevice(h.cluster.Eng, h.cluster.Net, nic.DefaultConfig())
+	h.Driver.AttachDevice(h.NIC)
+	return h.NIC
+}
+
+// AttachHCA gives the host an InfiniBand adapter wired to its driver.
+func (h *Host) AttachHCA() *HCA {
+	h.HCA = rc.NewHCA(h.cluster.Eng, h.cluster.Net, rc.DefaultConfig())
+	h.Driver.AttachHCA(h.HCA)
+	return h.HCA
+}
+
+// NewProcess creates an IOuser address space, optionally inside a memory
+// cgroup.
+func (h *Host) NewProcess(name string, cgroup *MemGroup) *AddressSpace {
+	return h.Machine.NewAddressSpace(name, cgroup)
+}
+
+// OpenChannel creates a direct I/O channel for as on the host's NIC with
+// the given receive fault policy, and — for non-pinned policies — enables
+// on-demand paging through the host driver. For PolicyPinned the caller is
+// expected to StaticPinAll (or otherwise guarantee residence).
+func (h *Host) OpenChannel(name string, as *AddressSpace, ringSize int, policy FaultPolicy) *Channel {
+	if h.NIC == nil {
+		h.AttachNIC()
+	}
+	ch := h.NIC.NewChannel(name, as, ringSize, policy, ringSize)
+	if policy != PolicyPinned {
+		h.Driver.EnableODP(ch)
+	}
+	return ch
+}
+
+// OpenQP creates an ODP-enabled queue pair for as on the host's HCA.
+func (h *Host) OpenQP(as *AddressSpace) *QP {
+	if h.HCA == nil {
+		h.AttachHCA()
+	}
+	qp := h.HCA.NewQP(as)
+	h.Driver.EnableODPQP(qp)
+	return qp
+}
+
+// OpenPinnedQP creates a queue pair whose memory the caller pins and
+// registers explicitly (no ODP).
+func (h *Host) OpenPinnedQP(as *AddressSpace) *QP {
+	if h.HCA == nil {
+		h.AttachHCA()
+	}
+	return h.HCA.NewQP(as)
+}

@@ -1,0 +1,99 @@
+// Command npfbench regenerates the paper's evaluation tables and figures on
+// the simulated stack. Run with no arguments for the full suite, or name
+// specific experiments:
+//
+//	npfbench fig3 table4 fig4a fig4b table5 fig7 fig8a fig8b fig9 table6 fig10 ablate loc
+//
+// Flags:
+//
+//	-quick   smaller trial counts / shorter runs (CI-friendly)
+//	-root    repository root for the loc experiment (default ".")
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"npf/internal/bench"
+	"npf/internal/sim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	root := flag.String("root", ".", "repository root (for the loc experiment)")
+	flag.Parse()
+
+	experiments := flag.Args()
+	if len(experiments) == 0 {
+		experiments = []string{"fig3", "table4", "fig4a", "fig4b", "table5",
+			"fig7", "fig8a", "fig8b", "fig9", "table6", "fig10", "ablate", "loc"}
+	}
+
+	for _, exp := range experiments {
+		start := time.Now()
+		var out string
+		switch exp {
+		case "fig3":
+			trials := 200
+			if *quick {
+				trials = 30
+			}
+			out = bench.RunFig3(trials).Render()
+		case "table4":
+			trials := 5000
+			if *quick {
+				trials = 500
+			}
+			out = bench.RunTable4(trials).Render()
+		case "fig4a":
+			dur := 80 * sim.Second
+			if *quick {
+				dur = 30 * sim.Second
+			}
+			out = bench.RunFig4a(dur).Render()
+		case "fig4b":
+			ops, rings, timeout := 10000, []int(nil), 600*sim.Second
+			if *quick {
+				ops, rings, timeout = 2000, []int{16, 64, 256, 1024}, 200*sim.Second
+			}
+			out = bench.RunFig4b(ops, rings, timeout).Render()
+		case "table5":
+			out = bench.RunTable5().Render()
+		case "fig7":
+			out = bench.RunFig7().Render()
+		case "fig8a":
+			out = bench.RunFig8a().Render()
+		case "fig8b":
+			out = bench.RunFig8b().Render()
+		case "fig9":
+			ranks, iters := 8, 100
+			if *quick {
+				ranks, iters = 4, 30
+			}
+			out = bench.RunFig9(ranks, iters).Render()
+		case "table6":
+			ranks := 8
+			if *quick {
+				ranks = 4
+			}
+			out = bench.RunTable6(ranks).Render()
+		case "fig10":
+			out = bench.RunFig10().Render()
+		case "ablate":
+			out = bench.RunAblate().Render()
+		case "loc":
+			r, err := bench.RunLOC(*root)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loc: %v\n", err)
+				continue
+			}
+			out = r.Render()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+			os.Exit(2)
+		}
+		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, time.Since(start).Round(time.Millisecond), out)
+	}
+}

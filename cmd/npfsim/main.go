@@ -1,0 +1,185 @@
+// Command npfsim runs a memcached-over-direct-Ethernet scenario described
+// by a JSON file, so NPF configurations can be explored without writing Go:
+//
+//	npfsim -scenario scenario.json
+//	npfsim -print-example > scenario.json
+//
+// A scenario declares the server machine, a set of IOuser instances (ring
+// size, fault policy, VM size, optional shared memory budget), and the load
+// each client drives. The report prints per-instance throughput, hit rate,
+// fault counters, and memory use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"npf/internal/apps"
+	"npf/internal/bench"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/sim"
+)
+
+// Scenario is the JSON schema.
+type Scenario struct {
+	Seed         int64      `json:"seed"`
+	ServerRAMMB  int64      `json:"server_ram_mb"`
+	SharedBudget int64      `json:"shared_budget_mb"` // 0: none
+	DurationSec  int        `json:"duration_sec"`
+	Instances    []Instance `json:"instances"`
+}
+
+// Instance is one memcached IOuser plus its load.
+type Instance struct {
+	Name        string  `json:"name"`
+	Policy      string  `json:"policy"` // pin | drop | backup
+	RingSize    int     `json:"ring_size"`
+	VMMB        int64   `json:"vm_mb"`
+	CapacityMB  int64   `json:"capacity_mb"` // memcached -m; 0 = unbounded
+	Conns       int     `json:"conns"`
+	GetRatio    float64 `json:"get_ratio"`
+	ValueBytes  int     `json:"value_bytes"`
+	Keys        int     `json:"keys"`
+	Prepopulate bool    `json:"prepopulate"`
+}
+
+var exampleScenario = Scenario{
+	Seed:         1,
+	ServerRAMMB:  256,
+	SharedBudget: 96,
+	DurationSec:  30,
+	Instances: []Instance{
+		{Name: "grow", Policy: "backup", RingSize: 64, VMMB: 128, Conns: 2,
+			GetRatio: 0.9, ValueBytes: 4096, Keys: 4000, Prepopulate: true},
+		{Name: "shrink", Policy: "backup", RingSize: 64, VMMB: 128, Conns: 2,
+			GetRatio: 0.9, ValueBytes: 4096, Keys: 8000, Prepopulate: true},
+	},
+}
+
+func main() {
+	scenarioPath := flag.String("scenario", "", "path to scenario JSON")
+	printExample := flag.Bool("print-example", false, "emit an example scenario and exit")
+	flag.Parse()
+
+	if *printExample {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(exampleScenario); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *scenarioPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: npfsim -scenario file.json (or -print-example)")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*scenarioPath)
+	if err != nil {
+		fatal(err)
+	}
+	var sc Scenario
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		fatal(fmt.Errorf("parsing scenario: %w", err))
+	}
+	if err := run(sc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "npfsim:", err)
+	os.Exit(1)
+}
+
+func policyOf(name string) (nic.FaultPolicy, error) {
+	switch name {
+	case "pin":
+		return nic.PolicyPinned, nil
+	case "drop":
+		return nic.PolicyDrop, nil
+	case "backup", "":
+		return nic.PolicyBackup, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q", name)
+}
+
+func run(sc Scenario) error {
+	if sc.DurationSec <= 0 {
+		sc.DurationSec = 30
+	}
+	if sc.ServerRAMMB <= 0 {
+		sc.ServerRAMMB = 8 << 10
+	}
+	env := bench.NewEthEnv(bench.EthOpts{
+		Seed:      sc.Seed,
+		ServerRAM: sc.ServerRAMMB << 20,
+		Policy:    nic.PolicyBackup,
+		RingSize:  64,
+	})
+	var shared *mem.Group
+	if sc.SharedBudget > 0 {
+		shared = mem.NewGroup("shared", sc.SharedBudget<<20)
+	}
+	type running struct {
+		inst  Instance
+		srv   *bench.EthHost
+		store *apps.KVStore
+		slap  *apps.Memaslap
+	}
+	var insts []*running
+	for _, inst := range sc.Instances {
+		pol, err := policyOf(inst.Policy)
+		if err != nil {
+			return err
+		}
+		if inst.RingSize <= 0 {
+			inst.RingSize = 64
+		}
+		if inst.Conns <= 0 {
+			inst.Conns = 2
+		}
+		srv, err := env.AddServerInstance(inst.Name, pol, inst.RingSize, shared, inst.VMMB<<20)
+		if err != nil {
+			fmt.Printf("%-10s FAILED TO START: %v\n", inst.Name, err)
+			continue
+		}
+		store := apps.NewKVStore(srv.AS, inst.CapacityMB<<20)
+		if inst.VMMB > 0 {
+			store.SetArena(0, inst.VMMB<<20)
+		}
+		apps.NewKVServer(srv.Stack, store, 100*sim.Microsecond)
+		cli := env.AddClientInstance("cli-" + inst.Name)
+		slap := apps.NewMemaslap(cli.Stack, apps.MemaslapConfig{
+			Conns: inst.Conns, GetRatio: inst.GetRatio, ValueSize: inst.ValueBytes,
+			Keys: inst.Keys, KeyPrefix: inst.Name, Prepopulate: inst.Prepopulate,
+		}, sim.Second)
+		slap.Start(srv.Chan.Dev.Node, srv.Chan.Flow)
+		insts = append(insts, &running{inst, srv, store, slap})
+	}
+	env.Eng.RunUntil(sim.Time(sc.DurationSec) * sim.Second)
+
+	fmt.Printf("scenario: %d instance(s), %d MB RAM, %ds simulated\n\n",
+		len(insts), sc.ServerRAMMB, sc.DurationSec)
+	fmt.Printf("%-10s %-7s %10s %8s %10s %12s %10s\n",
+		"instance", "policy", "ops/s", "hit%", "p99[µs]", "resident MB", "faults")
+	for _, r := range insts {
+		ops := float64(r.slap.Ops.N) / float64(sc.DurationSec)
+		hit := 0.0
+		if r.slap.Ops.N > 0 {
+			hit = 100 * float64(r.slap.Hits.N) / float64(r.slap.Ops.N)
+		}
+		fmt.Printf("%-10s %-7s %10.0f %7.1f%% %10.0f %12.1f %10d\n",
+			r.inst.Name, r.srv.Chan.Rx.Policy(), ops, hit,
+			r.slap.Latency().Percentile(99),
+			float64(r.srv.AS.ResidentBytes())/(1<<20),
+			r.srv.AS.MinorFaults.N+r.srv.AS.MajorFaults.N)
+	}
+	fmt.Printf("\ndriver: NPFs=%d (major %d)  invalidations mapped=%d fast=%d\n",
+		env.Drv.NPFs.N, env.Drv.MajorNPFs.N, env.Drv.Inv.Mapped.N, env.Drv.Inv.FastPath.N)
+	fmt.Printf("server NIC: delivered=%d toBackup=%d droppedFault=%d\n",
+		env.Server.Dev.RxDelivered.N, env.Server.Dev.RxToBackup.N, env.Server.Dev.RxDroppedFault.N)
+	return nil
+}

@@ -1,0 +1,3 @@
+module npf
+
+go 1.22

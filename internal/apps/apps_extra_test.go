@@ -1,0 +1,134 @@
+package apps
+
+import (
+	"testing"
+	"testing/quick"
+
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/sim"
+)
+
+func TestFaultInjectorBudget(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := mem.NewMachine(eng, 1<<30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(64 << 20)
+	as.TouchPages(0, 256, true)
+	// One fault per 64 KiB of received bytes over a 256-page region.
+	fi := NewFaultInjector(as, 0, 256, 1.0/(64<<10), false)
+	for i := 0; i < 64; i++ {
+		fi.OnBytes(64 << 10)
+	}
+	// 64 × 64 KiB = 4 MiB → exactly 64 fault budget; injections can be
+	// slightly fewer (a discarded page may already be non-resident).
+	if fi.Injected.N == 0 || fi.Injected.N > 64 {
+		t.Fatalf("injected = %d", fi.Injected.N)
+	}
+	resident := 0
+	for i := mem.PageNum(0); i < 256; i++ {
+		if as.Resident(i) {
+			resident++
+		}
+	}
+	if resident == 256 {
+		t.Fatal("no pages discarded")
+	}
+}
+
+func TestFaultInjectorMajorSwaps(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := mem.NewMachine(eng, 1<<30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.TouchPages(0, 16, true)
+	fi := NewFaultInjector(as, 0, 16, 1.0/4096, true) // fault per page
+	fi.OnBytes(4096 * 4)
+	if fi.Injected.N == 0 {
+		t.Fatal("no injections")
+	}
+	if m.Swap.Writes.N == 0 {
+		t.Fatal("major injection must swap pages out")
+	}
+}
+
+func TestFaultInjectorZeroFreq(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := mem.NewMachine(eng, 1<<30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.TouchPages(0, 16, true)
+	fi := NewFaultInjector(as, 0, 16, 0, false)
+	fi.OnBytes(1 << 30)
+	if fi.Injected.N != 0 {
+		t.Fatalf("injected %d at zero frequency", fi.Injected.N)
+	}
+}
+
+// Property: the KV store never exceeds its capacity and Items matches the
+// live key count under arbitrary get/set interleavings.
+func TestKVStoreCapacityProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		eng := sim.NewEngine(1)
+		m := mem.NewMachine(eng, 1<<30)
+		as := m.NewAddressSpace("kv", nil)
+		kv := NewKVStore(as, 16*4096)
+		live := make(map[string]bool)
+		for _, op := range ops {
+			key := string(rune('a' + op%32))
+			if op%3 == 0 {
+				if _, err := kv.Set(key, 4096); err != nil {
+					return false
+				}
+				live[key] = true
+			} else {
+				hit, _, _, err := kv.Get(key)
+				if err != nil {
+					return false
+				}
+				if hit && !live[key] {
+					return false // hit on a never-set key
+				}
+			}
+			if kv.UsedBytes() > 16*4096 {
+				return false
+			}
+		}
+		return kv.Items() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKVStoreArenaBounds(t *testing.T) {
+	eng := sim.NewEngine(1)
+	m := mem.NewMachine(eng, 1<<30)
+	as := m.NewAddressSpace("kv", nil)
+	base := as.MapBytes(8 * 4096)
+	kv := NewKVStore(as, 4*4096)
+	kv.SetArena(base, 8*4096)
+	for i := 0; i < 20; i++ {
+		if _, err := kv.Set(string(rune('a'+i)), 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 sets with capacity 4 recycle slots: the arena never overflows and
+	// the address space never grows.
+	if as.MappedBytes() != 8*4096 {
+		t.Fatalf("address space grew to %d", as.MappedBytes())
+	}
+}
+
+func TestMemaslapLatencyRecorded(t *testing.T) {
+	e := newMemcachedEnv(t, nic.PolicyPinned, 50*sim.Microsecond)
+	e.slap.Cfg.TargetOps = 100
+	e.slap.Start(e.sstack.Channel().Dev.Node, e.sstack.Channel().Flow)
+	e.eng.RunUntil(30 * sim.Second)
+	if e.slap.Latency().Count() != 100 {
+		t.Fatalf("latency samples = %d", e.slap.Latency().Count())
+	}
+	if e.slap.Latency().Mean() <= 0 {
+		t.Fatal("zero latency")
+	}
+}

@@ -1,0 +1,231 @@
+package apps
+
+import (
+	"npf/internal/mem"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/tcp"
+)
+
+// FaultInjector synthesizes rNPFs at a controlled frequency (§6.4): with
+// probability freq per received byte it discards (minor) or evicts-to-swap
+// (major) one page of the receive buffers, so the next DMA to that page
+// faults through the real machinery.
+type FaultInjector struct {
+	AS    *mem.AddressSpace
+	Base  mem.PageNum
+	Pages int
+	// Freq is the per-byte fault probability (the paper's x-axis).
+	Freq float64
+	// Major selects swap-backed (major) faults.
+	Major bool
+
+	rng      *sim.Rand
+	budget   float64 // accumulated expected faults
+	Injected sim.Counter
+}
+
+// NewFaultInjector covers the page range [base, base+pages).
+func NewFaultInjector(as *mem.AddressSpace, base mem.PageNum, pages int, freq float64, major bool) *FaultInjector {
+	return &FaultInjector{
+		AS: as, Base: base, Pages: pages, Freq: freq, Major: major,
+		rng: as.Machine().Eng.Rand().Split(),
+	}
+}
+
+// OnBytes accounts n received bytes and injects the faults they earn.
+func (fi *FaultInjector) OnBytes(n int) {
+	if fi.Freq <= 0 {
+		return
+	}
+	fi.budget += float64(n) * fi.Freq
+	for fi.budget >= 1 {
+		fi.budget--
+		pn := fi.Base + mem.PageNum(fi.rng.Intn(fi.Pages))
+		var k int
+		if fi.Major {
+			// Dirty it first so eviction swaps it out.
+			fi.AS.TouchPages(pn, 1, true)
+			k, _ = fi.AS.EvictPages(pn, 1)
+		} else {
+			k, _ = fi.AS.DiscardPages(pn, 1)
+		}
+		if k > 0 {
+			fi.Injected.Inc()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet stream (netperf TCP_STREAM-like).
+
+// EthStream measures TCP bulk throughput from a sender stack to a receiver
+// stack, with optional fault injection on the receiver ring.
+type EthStream struct {
+	MsgBytes   int
+	TotalBytes int64
+
+	conn     *tcp.Conn
+	eng      *sim.Engine
+	Injector *FaultInjector
+
+	Received sim.Counter
+	DoneAt   sim.Time
+	started  sim.Time
+}
+
+// NewEthStream wires sender→receiver. The receiver's ring region should be
+// pre-faulted by the caller (the benchmarks "pre-fault the receive ring at
+// startup to eliminate the cold ring problem").
+func NewEthStream(sender, receiver *tcp.Stack, msgBytes int, totalBytes int64) *EthStream {
+	s := &EthStream{
+		MsgBytes:   msgBytes,
+		TotalBytes: totalBytes,
+		eng:        sender.Channel().Dev.Eng,
+	}
+	receiver.Listen(func(c *tcp.Conn) {
+		c.OnMessage = func(payload any, n int) {
+			s.Received.Add(uint64(n))
+			if s.Injector != nil {
+				s.Injector.OnBytes(n)
+			}
+			if int64(s.Received.N) >= s.TotalBytes && s.DoneAt == 0 {
+				s.DoneAt = s.eng.Now()
+			}
+		}
+	})
+	s.conn = sender.Dial(receiver.Channel().Dev.Node, receiver.Channel().Flow)
+	return s
+}
+
+// Start queues the whole transfer (TCP windows pace it).
+func (s *EthStream) Start() {
+	s.started = s.eng.Now()
+	for sent := int64(0); sent < s.TotalBytes; sent += int64(s.MsgBytes) {
+		s.conn.Send(s.MsgBytes, nil)
+	}
+}
+
+// ThroughputGbps reports achieved goodput.
+func (s *EthStream) ThroughputGbps(now sim.Time) float64 {
+	end := s.DoneAt
+	if end == 0 {
+		end = now
+	}
+	if end <= s.started {
+		return 0
+	}
+	return float64(s.Received.N) * 8 / (end - s.started).Seconds() / 1e9
+}
+
+// ---------------------------------------------------------------------------
+// InfiniBand stream (ib_send_bw-like).
+
+// IBStream measures RC send throughput with optional receiver-side fault
+// injection.
+type IBStream struct {
+	MsgBytes   int
+	TotalBytes int64
+	Window     int // outstanding messages
+
+	snd, rcv *rc.QP
+	sndBuf   mem.VAddr
+	rcvBuf   mem.VAddr
+	eng      *sim.Engine
+	Injector *FaultInjector
+
+	sent     int64
+	Received sim.Counter
+	DoneAt   sim.Time
+	started  sim.Time
+}
+
+// NewIBStream builds the benchmark over a connected QP pair. Buffers are
+// allocated and pre-faulted on both sides (cold-ring elimination).
+func NewIBStream(snd, rcv *rc.QP, msgBytes int, totalBytes int64) *IBStream {
+	s := &IBStream{
+		MsgBytes:   msgBytes,
+		TotalBytes: totalBytes,
+		Window:     16,
+		snd:        snd,
+		rcv:        rcv,
+		eng:        snd.HCA().Eng,
+	}
+	pages := (msgBytes + mem.PageSize - 1) / mem.PageSize * s.Window
+	s.sndBuf = snd.AS.MapBytes(int64(pages) * mem.PageSize)
+	s.rcvBuf = rcv.AS.MapBytes(int64(pages) * mem.PageSize)
+	snd.AS.TouchPages(s.sndBuf.Page(), pages, true)
+	snd.Domain.Map(s.sndBuf.Page(), pages)
+	rcv.AS.TouchPages(s.rcvBuf.Page(), pages, true)
+	rcv.Domain.Map(s.rcvBuf.Page(), pages)
+
+	rcv.OnRecv = func(comp rc.RecvCompletion) {
+		s.Received.Add(uint64(comp.Len))
+		if s.Injector != nil {
+			s.Injector.OnBytes(comp.Len)
+		}
+		if int64(s.Received.N) >= s.TotalBytes {
+			if s.DoneAt == 0 {
+				s.DoneAt = s.eng.Now()
+			}
+			return
+		}
+		s.postRecv()
+	}
+	return s
+}
+
+// RecvRegion exposes the receive buffer range for fault injection.
+func (s *IBStream) RecvRegion() (mem.PageNum, int) {
+	return s.rcvBuf.Page(), (s.MsgBytes + mem.PageSize - 1) / mem.PageSize * s.Window
+}
+
+func (s *IBStream) postRecv() {
+	// Completion of message k (1-based) replenishes message k+Window-1,
+	// which reuses slot (k-1) mod Window.
+	k := int64(s.Received.N) / int64(s.MsgBytes)
+	idx := k + int64(s.Window) - 1
+	slot := s.rcvBuf + mem.VAddr(int(idx)%s.Window*s.MsgBytes)
+	s.rcv.PostRecv(rc.RecvWQE{ID: idx, Addr: slot, Len: s.MsgBytes})
+}
+
+// Start posts the window and begins streaming.
+func (s *IBStream) Start() {
+	s.started = s.eng.Now()
+	for i := 0; i < s.Window; i++ {
+		slot := s.rcvBuf + mem.VAddr(i*s.MsgBytes)
+		s.rcv.PostRecv(rc.RecvWQE{ID: int64(i), Addr: slot, Len: s.MsgBytes})
+	}
+	s.pump()
+}
+
+// pump keeps Window sends outstanding; completions trigger refills.
+func (s *IBStream) pump() {
+	outstanding := 0
+	s.snd.OnSendComplete = func(id int64) {
+		outstanding--
+		s.fill(&outstanding)
+	}
+	s.fill(&outstanding)
+}
+
+func (s *IBStream) fill(outstanding *int) {
+	for *outstanding < s.Window && s.sent < s.TotalBytes {
+		slot := s.sndBuf + mem.VAddr(int(s.sent/int64(s.MsgBytes))%s.Window*s.MsgBytes)
+		s.snd.PostSend(rc.SendWQE{ID: s.sent, Laddr: slot, Len: s.MsgBytes})
+		s.sent += int64(s.MsgBytes)
+		*outstanding++
+	}
+}
+
+// ThroughputGbps reports achieved goodput.
+func (s *IBStream) ThroughputGbps(now sim.Time) float64 {
+	end := s.DoneAt
+	if end == 0 {
+		end = now
+	}
+	if end <= s.started {
+		return 0
+	}
+	return float64(s.Received.N) * 8 / (end - s.started).Seconds() / 1e9
+}

@@ -1,0 +1,248 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated stack. Each experiment has a Run
+// function returning a result struct with a Render method that prints the
+// same rows/series the paper reports, plus paper-reference values where
+// useful. EXPERIMENTS.md records paper-vs-measured for each.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"npf/internal/core"
+	"npf/internal/fabric"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/tcp"
+)
+
+// EthHost bundles one Ethernet endpoint: device, channel, stack, driver.
+type EthHost struct {
+	Dev   *nic.Device
+	AS    *mem.AddressSpace
+	Chan  *nic.Channel
+	Stack *tcp.Stack
+}
+
+// EthEnv is a two-host Ethernet testbed like the paper's (§6 setup): a
+// server with the NPF-supporting prototype NIC and an unmodified client.
+type EthEnv struct {
+	Eng     *sim.Engine
+	Net     *fabric.Network
+	M       *mem.Machine // server machine
+	ClientM *mem.Machine
+	Drv     *core.Driver
+	Server  *EthHost
+	Client  *EthHost
+}
+
+// EthOpts configures the testbed.
+type EthOpts struct {
+	Seed         int64
+	ServerRAM    int64
+	Policy       nic.FaultPolicy // server ring policy
+	RingSize     int
+	ServerCgroup *mem.Group
+	PrefaultRing bool
+	Jitter       bool
+}
+
+// NewEthEnv builds the testbed. The client is always statically pinned
+// (unmodified); the server is pinned or ODP per Policy.
+func NewEthEnv(o EthOpts) *EthEnv {
+	if o.ServerRAM == 0 {
+		o.ServerRAM = 8 << 30
+	}
+	if o.RingSize == 0 {
+		o.RingSize = 64
+	}
+	eng := sim.NewEngine(o.Seed + 1)
+	net := fabric.New(eng, fabric.DefaultEthernet())
+	m := mem.NewMachine(eng, o.ServerRAM)
+	cm := mem.NewMachine(eng, 8<<30)
+	dcfg := core.DefaultConfig()
+	dcfg.PrefaultRing = o.PrefaultRing
+	drv := core.NewDriver(eng, dcfg)
+	e := &EthEnv{Eng: eng, Net: net, M: m, ClientM: cm, Drv: drv}
+	e.Server = e.newHost(m, "server", o.Policy, o.RingSize, o.ServerCgroup, o.Jitter)
+	e.Client = e.newHost(cm, "client", nic.PolicyPinned, 256, nil, o.Jitter)
+	return e
+}
+
+// AddServerInstance adds another IOuser (channel+stack) on the server NIC —
+// one more "VM" for the overcommitment experiments. vmBytes maps the VM's
+// guest-physical memory in its address space before the stack's buffers.
+// Pinned instances whose memory does not fit return an error (the paper's
+// Table 5 "N/A").
+func (e *EthEnv) AddServerInstance(name string, policy nic.FaultPolicy, ringSize int, cgroup *mem.Group, vmBytes int64) (*EthHost, error) {
+	h := &EthHost{Dev: e.Server.Dev}
+	h.AS = e.M.NewAddressSpace(name, cgroup)
+	if vmBytes > 0 {
+		h.AS.MapBytes(vmBytes)
+	}
+	h.Chan = h.Dev.NewChannel(name, h.AS, ringSize, policy, ringSize)
+	if policy != nic.PolicyPinned {
+		e.Drv.EnableODP(h.Chan)
+	}
+	h.Stack = tcp.NewStack(h.Chan, tcp.DefaultConfig())
+	if policy == nic.PolicyPinned {
+		if _, err := core.StaticPinAll(h.AS, h.Chan.Domain); err != nil {
+			return nil, fmt.Errorf("bench: pinning %s: %w", name, err)
+		}
+	}
+	return h, nil
+}
+
+// AddClientInstance adds another (pinned) client stack on the client NIC.
+func (e *EthEnv) AddClientInstance(name string) *EthHost {
+	h := &EthHost{Dev: e.Client.Dev}
+	h.AS = e.ClientM.NewAddressSpace(name, nil)
+	h.Chan = h.Dev.NewChannel(name, h.AS, 256, nic.PolicyPinned, 256)
+	h.Stack = tcp.NewStack(h.Chan, tcp.DefaultConfig())
+	if _, err := core.StaticPinAll(h.AS, h.Chan.Domain); err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func (e *EthEnv) newHost(m *mem.Machine, name string, policy nic.FaultPolicy, ringSize int, cgroup *mem.Group, jitter bool) *EthHost {
+	dcfg := nic.DefaultConfig()
+	if !jitter {
+		dcfg.FirmwareJitterSigma = 0
+	}
+	dev := nic.NewDevice(e.Eng, e.Net, dcfg)
+	e.Drv.AttachDevice(dev)
+	h := &EthHost{Dev: dev}
+	h.AS = m.NewAddressSpace(name, cgroup)
+	h.Chan = dev.NewChannel(name, h.AS, ringSize, policy, ringSize)
+	if policy != nic.PolicyPinned {
+		e.Drv.EnableODP(h.Chan)
+	}
+	h.Stack = tcp.NewStack(h.Chan, tcp.DefaultConfig())
+	if policy == nic.PolicyPinned {
+		if _, err := core.StaticPinAll(h.AS, h.Chan.Domain); err != nil {
+			panic(fmt.Sprintf("bench: pinning %s: %v", name, err))
+		}
+	}
+	return h
+}
+
+// WarmStack pre-faults and maps a stack's RX and TX buffer regions (used
+// for ODP stacks that must start warm).
+func WarmStack(st *tcp.Stack) {
+	ch := st.Channel()
+	for _, r := range [][2]int64{rxRange(st), txRange(st)} {
+		base, pages := mem.PageNum(r[0]), int(r[1])
+		if _, err := ch.AS.TouchPages(base, pages, true); err != nil {
+			panic(err)
+		}
+		ch.Domain.Map(base, pages)
+	}
+}
+
+func rxRange(st *tcp.Stack) [2]int64 {
+	base, n := st.RxBuffers()
+	return [2]int64{int64(base.Page()), n / mem.PageSize}
+}
+
+func txRange(st *tcp.Stack) [2]int64 {
+	base, n := st.TxBuffers()
+	return [2]int64{int64(base.Page()), n / mem.PageSize}
+}
+
+// IBEnv is a pair of InfiniBand hosts with ODP drivers.
+type IBEnv struct {
+	Eng        *sim.Engine
+	Net        *fabric.Network
+	MA, MB     *mem.Machine
+	DrvA, DrvB *core.Driver
+	HCAA, HCAB *rc.HCA
+	ASA, ASB   *mem.AddressSpace
+	QPA, QPB   *rc.QP
+}
+
+// IBOpts configures the IB testbed.
+type IBOpts struct {
+	Seed   int64
+	Jitter bool
+	MTU    int
+	Tweak  func(*rc.Config)
+}
+
+// NewIBEnv builds a two-node IB testbed with a connected, ODP-enabled QP
+// pair.
+func NewIBEnv(o IBOpts) *IBEnv {
+	eng := sim.NewEngine(o.Seed + 1)
+	net := fabric.New(eng, fabric.DefaultInfiniBand())
+	cfg := rc.DefaultConfig()
+	if !o.Jitter {
+		cfg.FirmwareJitterSigma = 0
+	}
+	if o.MTU != 0 {
+		cfg.MTU = o.MTU
+	}
+	if o.Tweak != nil {
+		o.Tweak(&cfg)
+	}
+	e := &IBEnv{Eng: eng, Net: net}
+	e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(eng, 128<<30)
+	e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(eng, core.DefaultConfig())
+	e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(eng, net, cfg)
+	e.DrvA.AttachHCA(e.HCAA)
+	e.DrvB.AttachHCA(e.HCAB)
+	e.ASA = e.MA.NewAddressSpace("a", nil)
+	e.ASA.MapBytes(8 << 30)
+	e.ASB = e.MB.NewAddressSpace("b", nil)
+	e.ASB.MapBytes(8 << 30)
+	e.QPA, e.QPB = e.HCAA.NewQP(e.ASA), e.HCAB.NewQP(e.ASB)
+	rc.Connect(e.QPA, e.QPB)
+	e.DrvA.EnableODPQP(e.QPA)
+	e.DrvB.EnableODPQP(e.QPB)
+	return e
+}
+
+// Warm makes a page range resident and mapped on one side.
+func Warm(qp *rc.QP, first mem.PageNum, pages int) {
+	if _, err := qp.AS.TouchPages(first, pages, true); err != nil {
+		panic(err)
+	}
+	qp.Domain.Map(first, pages)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering helpers.
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	all := append([][]string{header}, rows...)
+	widths := make([]int, len(header))
+	for _, row := range all {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for r, row := range all {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+		if r == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", w))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"npf/internal/mem"
+	"npf/internal/rc"
+	"npf/internal/sim"
+)
+
+// Fig3Result holds the NPF and invalidation execution breakdowns of
+// Figure 3 (µs, means).
+type Fig3Result struct {
+	// NPF breakdown per message size.
+	NPF map[string]Fig3Breakdown
+	// InvalidationMapped / InvalidationFast are the Figure 3b components.
+	InvalidationMapped float64
+	InvalidationFast   float64
+}
+
+// Fig3Breakdown is one bar of Figure 3a.
+type Fig3Breakdown struct {
+	Trigger, Driver, Update, Resume, Total float64
+}
+
+// RunFig3 reproduces Figure 3: repeated minor NPFs on 4KB and 4MB messages,
+// plus the invalidation flow.
+func RunFig3(trials int) *Fig3Result {
+	res := &Fig3Result{NPF: make(map[string]Fig3Breakdown)}
+	for _, size := range []struct {
+		name  string
+		bytes int
+	}{{"4KB", 4 << 10}, {"4MB", 4 << 20}} {
+		e := NewIBEnv(IBOpts{Seed: 7})
+		pages := (size.bytes + mem.PageSize - 1) / mem.PageSize
+		// Sender warm; receive buffers cycle through a window, discarded
+		// after each trial so every receive faults cold (minor).
+		Warm(e.QPA, 0, pages*2)
+		const window = 8
+		done := 0
+		var runTrial func()
+		runTrial = func() {
+			if done >= trials {
+				e.Eng.Stop()
+				return
+			}
+			base := mem.VAddr(done%window*pages) * mem.PageSize
+			e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
+			e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
+		}
+		e.QPB.OnRecv = func(rc.RecvCompletion) {
+			base := mem.PageNum(done % window * pages)
+			e.ASB.DiscardPages(base, pages)
+			done++
+			runTrial()
+		}
+		runTrial()
+		e.Eng.Run()
+		h := &e.DrvB.Hist
+		res.NPF[size.name] = Fig3Breakdown{
+			Trigger: h.Trigger.Mean(),
+			Driver:  h.DriverSW.Mean(),
+			Update:  h.UpdateHW.Mean(),
+			Resume:  h.Resume.Mean(),
+			Total:   h.Total.Mean(),
+		}
+	}
+
+	// Figure 3b: invalidations of mapped pages (evicting DMA-mapped
+	// buffers) vs the unmapped fast path.
+	e := NewIBEnv(IBOpts{Seed: 7})
+	Warm(e.QPB, 0, 256)
+	var mappedCost, fastCost sim.Time
+	for i := 0; i < 256; i++ {
+		_, c := e.ASB.EvictPages(mem.PageNum(i), 1)
+		mappedCost += c
+	}
+	// Fast path: pages resident but never device-mapped.
+	e.ASB.TouchPages(1024, 256, true)
+	for i := 0; i < 256; i++ {
+		_, c := e.ASB.EvictPages(1024+mem.PageNum(i), 1)
+		fastCost += c
+	}
+	res.InvalidationMapped = (mappedCost / 256).Micros()
+	res.InvalidationFast = (fastCost / 256).Micros()
+	return res
+}
+
+// Render prints the breakdown tables with the paper's reference values.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3(a): NPF execution breakdown (minor faults, µs)\n")
+	rows := [][]string{}
+	for _, name := range []string{"4KB", "4MB"} {
+		v := r.NPF[name]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.1f", v.Trigger),
+			fmt.Sprintf("%.1f", v.Driver),
+			fmt.Sprintf("%.1f", v.Update),
+			fmt.Sprintf("%.1f", v.Resume),
+			fmt.Sprintf("%.1f", v.Total),
+		})
+	}
+	b.WriteString(table(
+		[]string{"msg", "trigger[hw]", "driver[sw]", "updatePT[sw+hw]", "resume[hw]", "total"},
+		rows))
+	b.WriteString("paper: 4KB ≈ 220 µs (~90% hardware), 4MB ≈ 350 µs\n\n")
+	b.WriteString("Figure 3(b): invalidation flow (µs)\n")
+	fmt.Fprintf(&b, "  mapped page:   %.1f   (paper: ≈55-60)\n", r.InvalidationMapped)
+	fmt.Fprintf(&b, "  unmapped page: %.1f   (paper: ≈10, fast path)\n", r.InvalidationFast)
+	return b.String()
+}
+
+// Table4Result holds the NPF tail latencies (µs).
+type Table4Result struct {
+	Rows map[string]Table4Row
+}
+
+// Table4Row is one row of Table 4.
+type Table4Row struct {
+	P50, P95, P99, Max float64
+}
+
+// RunTable4 reproduces Table 4: NPF latency percentiles with firmware
+// jitter enabled.
+func RunTable4(trials int) *Table4Result {
+	res := &Table4Result{Rows: make(map[string]Table4Row)}
+	for _, size := range []struct {
+		name  string
+		bytes int
+	}{{"4KB", 4 << 10}, {"4MB", 4 << 20}} {
+		e := NewIBEnv(IBOpts{Seed: 11, Jitter: true})
+		pages := (size.bytes + mem.PageSize - 1) / mem.PageSize
+		Warm(e.QPA, 0, pages*2)
+		const window = 8
+		done := 0
+		var runTrial func()
+		runTrial = func() {
+			if done >= trials {
+				e.Eng.Stop()
+				return
+			}
+			base := mem.VAddr(done%window*pages) * mem.PageSize
+			e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
+			e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
+		}
+		e.QPB.OnRecv = func(rc.RecvCompletion) {
+			base := mem.PageNum(done % window * pages)
+			e.ASB.DiscardPages(base, pages)
+			done++
+			runTrial()
+		}
+		runTrial()
+		e.Eng.Run()
+		h := &e.DrvB.Hist.Total
+		res.Rows[size.name] = Table4Row{
+			P50: h.Percentile(50), P95: h.Percentile(95),
+			P99: h.Percentile(99), Max: h.Max(),
+		}
+	}
+	return res
+}
+
+// Render prints Table 4.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4: tail latency of NPFs (µs)\n")
+	rows := [][]string{}
+	for _, name := range []string{"4KB", "4MB"} {
+		v := r.Rows[name]
+		rows = append(rows, []string{name,
+			fmt.Sprintf("%.0f", v.P50), fmt.Sprintf("%.0f", v.P95),
+			fmt.Sprintf("%.0f", v.P99), fmt.Sprintf("%.0f", v.Max)})
+	}
+	b.WriteString(table([]string{"message size", "50%", "95%", "99%", "max"}, rows))
+	b.WriteString("paper: 4KB 215/250/261/464; 4MB 352/431/440/687\n")
+	return b.String()
+}

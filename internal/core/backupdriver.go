@@ -1,0 +1,91 @@
+package core
+
+import (
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/sim"
+)
+
+// chanState is the per-IOuser driver state of §5: the software queue q of
+// faulting packets and the resolver thread T that merges them back into the
+// IOuser's ring. T is modelled as a sequential event chain — one packet in
+// service at a time, like a kernel thread.
+type chanState struct {
+	d    *Driver
+	ch   *nic.Channel
+	q    []nic.RxNPFEntry
+	busy bool
+	// waiting marks that T is blocked until the IOuser posts descriptors
+	// (the tail interrupt the paper's T asks the NIC for).
+	waiting bool
+}
+
+// pump services the head of q. It reschedules itself after each resolution
+// and parks on the ring's tail watch when the IOuser has not yet posted the
+// target descriptor.
+func (st *chanState) pump() {
+	if st.busy || st.waiting || len(st.q) == 0 {
+		return
+	}
+	e := st.q[0]
+	ring := st.ch.Rx
+
+	// T first blocks until there is room in the target IOuser ring.
+	if e.Index >= ring.Tail() {
+		st.waiting = true
+		ring.WatchTail(func() {
+			ring.WatchTail(nil)
+			st.waiting = false
+			st.pump()
+		})
+		return
+	}
+	st.busy = true
+	st.q = st.q[1:]
+
+	// Ensure the descriptor and buffer(s) are present and the IOMMU page
+	// tables reflect that. Re-translate now: an earlier resolution may
+	// already have covered these pages.
+	desc, ok := ring.DescriptorAt(e.Index)
+	var pages []mem.PageNum
+	if ok {
+		_, pages = st.ch.Domain.TranslateAccess(desc.Buffer, desc.Len, true)
+	}
+	if st.d.Cfg.PrefaultRing {
+		pages = append(pages, st.d.prefaultPages(st.ch)...)
+	}
+	var copyCost sim.Time
+	if e.Packet != nil {
+		// Copying the parked packet into the IOuser buffer is CPU work.
+		copyCost = sim.Time(int64(e.Packet.Size) * int64(sim.Second) / st.d.Cfg.MemcpyBps)
+	}
+	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost,
+		func() {
+			if e.Packet != nil {
+				// The OS may have reclaimed the buffer again while T
+				// worked (its copy would refault): resolve once more.
+				if desc, ok := ring.DescriptorAt(e.Index); ok {
+					if _, missing := st.ch.Domain.TranslateAccess(desc.Buffer, desc.Len, true); len(missing) > 0 {
+						st.busy = false
+						st.q = append([]nic.RxNPFEntry{e}, st.q...)
+						st.pump()
+						return
+					}
+				}
+				ring.FillResolved(e.Index, e.Packet)
+				ring.ResolveRNPF(e.BitIndex)
+			} else {
+				ring.ClearInflight(e.Index)
+			}
+			st.busy = false
+			st.pump()
+		},
+		func() {
+			// No reclaimable memory right now: requeue and retry; the
+			// packet stays parked (bounded by the backup ring, as in
+			// hardware).
+			st.busy = false
+			st.q = append([]nic.RxNPFEntry{e}, st.q...)
+			st.pump()
+		})
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/tcp"
+)
+
+// These tests cover the §5 observation that fork-with-COW and page
+// migration re-cold a warm ring: resident pages lose their device mappings
+// (or writability), so DMA faults again through the full NPF machinery.
+
+func TestForkRecoldsWarmRing(t *testing.T) {
+	e := newEthEnv(t, nic.PolicyBackup, 64, false)
+	received := 0
+	e.server.Listen(func(c *tcp.Conn) {
+		c.OnMessage = func(payload any, n int) { received++ }
+	})
+	conn := e.client.Dial(e.server.Channel().Dev.Node, e.server.Channel().Flow)
+	// Cycle the whole 64-entry ring so every buffer page is resident.
+	for i := 0; i < 80; i++ {
+		conn.Send(4000, i)
+	}
+	e.eng.RunUntil(5 * sim.Second)
+	if received != 80 {
+		t.Fatalf("warmup received %d/80", received)
+	}
+	warmNPFs := e.drv.NPFs.N
+	serverAS := e.server.Channel().AS
+
+	// The server process forks (e.g. to exec a helper): every resident
+	// page is write-protected and device mappings drop.
+	_, cost := serverAS.Fork("helper", nil)
+	if cost <= 0 {
+		t.Fatal("fork should pay invalidation costs")
+	}
+	if e.drv.Inv.Mapped.N == 0 {
+		t.Fatal("fork did not invalidate device mappings")
+	}
+
+	for i := 0; i < 80; i++ {
+		conn.Send(4000, 100+i)
+	}
+	e.eng.RunUntil(15 * sim.Second)
+	if received != 160 {
+		t.Fatalf("post-fork received %d/160", received)
+	}
+	if e.drv.NPFs.N <= warmNPFs {
+		t.Fatal("post-fork traffic should refault (COW write faults)")
+	}
+	if serverAS.CowBreaks.N == 0 {
+		t.Fatal("no COW breaks: receive DMA must have broken write protection")
+	}
+}
+
+func TestMigrationRecoldsQP(t *testing.T) {
+	e := newIBEnv(t, 1<<30, nil)
+	Warm := func(qp *rc.QP, first mem.PageNum, pages int) {
+		qp.AS.TouchPages(first, pages, true)
+		qp.Domain.Map(first, pages)
+	}
+	Warm(e.a, 0, 16)
+	Warm(e.b, 0, 16)
+	received := 0
+	e.b.OnRecv = func(rc.RecvCompletion) { received++ }
+	e.b.PostRecv(rc.RecvWQE{ID: 1, Addr: 0, Len: 16 << 10})
+	e.a.PostSend(rc.SendWQE{ID: 1, Laddr: 0, Len: 16 << 10})
+	e.eng.Run()
+	if received != 1 || e.drv.NPFs.N != 0 {
+		t.Fatalf("warm transfer: recv=%d faults=%d", received, e.drv.NPFs.N)
+	}
+
+	// NUMA migration moves the receive buffers; mappings drop, content
+	// survives.
+	n, _ := e.asB.MigratePages(0, 4)
+	if n != 4 {
+		t.Fatalf("migrated %d", n)
+	}
+	e.b.PostRecv(rc.RecvWQE{ID: 2, Addr: 0, Len: 16 << 10})
+	e.a.PostSend(rc.SendWQE{ID: 2, Laddr: 0, Len: 16 << 10})
+	e.eng.Run()
+	if received != 2 {
+		t.Fatalf("post-migration recv = %d", received)
+	}
+	if e.drv.NPFs.N == 0 {
+		t.Fatal("migrated buffers must refault")
+	}
+	// But no major faults: migration preserves content.
+	if e.drv.MajorNPFs.N != 0 {
+		t.Fatalf("major faults = %d after migration", e.drv.MajorNPFs.N)
+	}
+}
+
+func TestReadOnlyMappingUpgradesOnDMAWrite(t *testing.T) {
+	// A buffer first used as a SEND source is resolved read-only; reusing
+	// it as a receive buffer must fault again (permission) and upgrade.
+	e := newIBEnv(t, 1<<30, nil)
+	e.asB.TouchPages(64, 4, true)
+	e.b.Domain.Map(64, 4) // receiver warm for the first message
+
+	received := 0
+	e.b.OnRecv = func(rc.RecvCompletion) { received++ }
+	e.b.PostRecv(rc.RecvWQE{ID: 1, Addr: mem.PageNum(64).Base(), Len: mem.PageSize})
+	// Cold send buffer at page 0: resolved with read intent.
+	e.a.PostSend(rc.SendWQE{ID: 1, Laddr: 0, Len: 4096})
+	e.eng.Run()
+	if received != 1 {
+		t.Fatal("first message lost")
+	}
+	if !e.a.Domain.Present(0) || e.a.Domain.Writable(0) {
+		t.Fatalf("send buffer should be mapped read-only: present=%v writable=%v",
+			e.a.Domain.Present(0), e.a.Domain.Writable(0))
+	}
+
+	// Now the same page becomes a receive target on A.
+	faultsBefore := e.a.HCA().Faults.N
+	gotBack := 0
+	e.a.OnRecv = func(rc.RecvCompletion) { gotBack++ }
+	e.a.PostRecv(rc.RecvWQE{ID: 2, Addr: 0, Len: mem.PageSize})
+	e.b.PostSend(rc.SendWQE{ID: 2, Laddr: mem.PageNum(64).Base(), Len: 4096})
+	e.eng.Run()
+	if gotBack != 1 {
+		t.Fatal("reverse message lost")
+	}
+	if e.a.HCA().Faults.N <= faultsBefore {
+		t.Fatal("DMA write to read-only mapping must fault (permission upgrade)")
+	}
+	if !e.a.Domain.Writable(0) {
+		t.Fatal("mapping not upgraded to writable")
+	}
+}

@@ -1,0 +1,296 @@
+// Package core is the paper's primary contribution: the IOprovider driver
+// that gives NICs page-fault support ("on-demand paging", ODP).
+//
+// It implements:
+//
+//   - the NPF flow of Figure 2 (steps 1–4): the device reports missing
+//     translations, the driver queries the OS (faulting pages in, possibly
+//     from swap), batch-updates the device's IOMMU page tables, and tells
+//     the firmware to resume;
+//   - the invalidation flow (steps a–d) as an MMU notifier: before the OS
+//     reuses a frame, the driver unmaps its IOVA and flushes the IOTLB;
+//   - the §5 Ethernet backup-ring driver: a per-IOuser software queue and a
+//     resolver that waits for ring room, faults buffers in, merges parked
+//     packets, and notifies the NIC — keeping the IOuser unaware;
+//   - the §4 optimizations: scatter-gather batching/prefetch, the in-flight
+//     bitmap (implemented device-side), and optional ring prefaulting;
+//   - the baselines every experiment compares against: static pinning,
+//     fine-grained pinning, and a pin-down cache (pinning.go).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"npf/internal/iommu"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+)
+
+// Config holds driver-side cost parameters and policy knobs.
+type Config struct {
+	// DispatchCost is interrupt-handler entry/exit overhead.
+	DispatchCost sim.Time
+	// PerPageLookup is the OS cost to resolve one IOVA to a physical
+	// address (get_user_pages bookkeeping), on top of mem's fault costs.
+	PerPageLookup sim.Time
+	// CheckCost is the invalidation fast path: finding the memory region
+	// and checking whether the page was ever mapped (Figure 3b "checks").
+	CheckCost sim.Time
+	// UpdateCost is the driver's internal-state update after an
+	// invalidation (Figure 3b "updates").
+	UpdateCost sim.Time
+	// MemcpyBps is the CPU copy bandwidth used when the backup-ring
+	// resolver merges packets into IOuser buffers (and by the copy-based
+	// baselines).
+	MemcpyBps int64
+	// PrefaultRing makes the backup resolver and drop-path handler fault
+	// in every posted descriptor of the ring on the first rNPF (§3's
+	// pre-faulting optimization; incomplete as a solution, useful as one).
+	PrefaultRing bool
+}
+
+// DefaultConfig returns values calibrated against Figure 3.
+func DefaultConfig() Config {
+	return Config{
+		DispatchCost:  4 * sim.Microsecond,
+		PerPageLookup: 40 * sim.Nanosecond,
+		CheckCost:     9 * sim.Microsecond,
+		UpdateCost:    9 * sim.Microsecond,
+		MemcpyBps:     10e9,
+	}
+}
+
+// Breakdown records the Figure 3a execution components of served NPFs, in
+// microseconds.
+type Breakdown struct {
+	Trigger  sim.Histogram // (i)→(ii): firmware detects and interrupts [hw]
+	DriverSW sim.Histogram // (ii)→(iii): driver + OS produce the pages [sw]
+	UpdateHW sim.Histogram // (iii)→(iv): IOMMU page-table update [sw+hw]
+	Resume   sim.Histogram // (iv)→(v): device resumes [hw]
+	Total    sim.Histogram
+}
+
+func (b *Breakdown) record(trigger, driver, update, resume sim.Time) {
+	b.Trigger.AddTime(trigger)
+	b.DriverSW.AddTime(driver)
+	b.UpdateHW.AddTime(update)
+	b.Resume.AddTime(resume)
+	b.Total.AddTime(trigger + driver + update + resume)
+}
+
+// InvalidationStats records the Figure 3b components.
+type InvalidationStats struct {
+	Total    sim.Histogram // mapped-path invalidations, µs
+	FastPath sim.Counter   // invalidations of never-mapped pages
+	Mapped   sim.Counter
+}
+
+// Driver is the per-host IOprovider driver. Attach devices and adapters to
+// it, then enable ODP on individual channels/QPs or pin them instead.
+type Driver struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	chans      map[*nic.Channel]*chanState
+	registered map[*iommu.Domain]bool
+
+	// Stats.
+	NPFs      sim.Counter
+	MajorNPFs sim.Counter
+	// RxReports counts receive-fault entries delivered by devices (before
+	// the resolver's dedup — the §4 in-flight bitmap bounds this).
+	RxReports sim.Counter
+	Hist      Breakdown
+	Inv       InvalidationStats
+}
+
+// NewDriver creates a driver.
+func NewDriver(eng *sim.Engine, cfg Config) *Driver {
+	return &Driver{
+		Eng:        eng,
+		Cfg:        cfg,
+		chans:      make(map[*nic.Channel]*chanState),
+		registered: make(map[*iommu.Domain]bool),
+	}
+}
+
+// AttachDevice routes an Ethernet NIC's fault interrupts to this driver.
+func (d *Driver) AttachDevice(dev *nic.Device) { dev.SetNPFSink(d) }
+
+// AttachHCA routes an InfiniBand adapter's fault interrupts to this driver.
+func (d *Driver) AttachHCA(h *rc.HCA) { h.SetFaultSink(d) }
+
+// EnableODP registers a channel for on-demand paging: its IOMMU domain
+// starts empty, faults populate it, and an MMU notifier keeps it coherent
+// with the OS. This is all an IOuser needs — no pinning anywhere.
+func (d *Driver) EnableODP(ch *nic.Channel) {
+	d.chans[ch] = &chanState{d: d, ch: ch}
+	d.registerNotifier(ch.AS, ch.Domain)
+}
+
+// EnableODPQP registers a QP for on-demand paging.
+func (d *Driver) EnableODPQP(qp *rc.QP) {
+	d.registerNotifier(qp.AS, qp.Domain)
+}
+
+// registerNotifier wires the invalidation flow (Figure 2 steps a–d): when
+// the OS wants a frame back, unmap it from the device and flush the IOTLB
+// before the OS reuses it. Domains shared by several QPs (one protection
+// domain, the verbs model) register once.
+func (d *Driver) registerNotifier(as *mem.AddressSpace, dom *iommu.Domain) {
+	if d.registered[dom] {
+		return
+	}
+	d.registered[dom] = true
+	as.RegisterNotifier(mem.NotifierFunc(func(first mem.PageNum, count int) sim.Time {
+		cost := d.Cfg.CheckCost
+		unmapCost, removed := dom.Unmap(first, count)
+		if removed == 0 {
+			// Lazily mapped pages are often absent (Figure 3b fast path).
+			d.Inv.FastPath.Inc()
+			return cost
+		}
+		d.Inv.Mapped.Inc()
+		cost += unmapCost + d.Cfg.UpdateCost
+		d.Inv.Total.AddTime(cost)
+		return cost
+	}))
+}
+
+// faultPrep performs Figure 2 step 3: the OS faults the missing pages in
+// (batched) and resolves their physical addresses. It mutates OS memory
+// state immediately and returns the software cost; the device-visible IOMMU
+// update is a separate commit phase (faultCommit) that callers schedule
+// after the software cost has elapsed — the device must not see the new
+// translations before the driver has actually produced them.
+func (d *Driver) faultPrep(as *mem.AddressSpace, pages []mem.PageNum, write bool) (swCost sim.Time, major bool, err error) {
+	swCost = d.Cfg.DispatchCost + sim.Time(len(pages))*d.Cfg.PerPageLookup
+	if len(pages) == 0 {
+		return swCost, false, nil
+	}
+	sorted := append([]mem.PageNum(nil), pages...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	run := 1
+	for i := 1; i <= len(sorted); i++ {
+		if i < len(sorted) && sorted[i] == sorted[i-1]+1 {
+			run++
+			continue
+		}
+		res, ferr := as.FaultInRange(sorted[i-run], run, write)
+		if ferr != nil {
+			return swCost, major, ferr
+		}
+		swCost += res.Cost
+		if res.Major > 0 {
+			major = true
+		}
+		run = 1
+	}
+	d.NPFs.Inc()
+	if major {
+		d.MajorNPFs.Inc()
+	}
+	return swCost, major, nil
+}
+
+// faultCommit performs Figure 2 step 4: batch-install the translations.
+// Pages reclaimed while the driver was working are skipped (their
+// invalidation already ran; the device will fault again if it needs them).
+func (d *Driver) faultCommit(as *mem.AddressSpace, dom *iommu.Domain, pages []mem.PageNum, write bool) sim.Time {
+	live := pages[:0]
+	for _, pn := range pages {
+		if as.Resident(pn) {
+			live = append(live, pn)
+		}
+	}
+	return dom.MapBatchPerm(live, write)
+}
+
+// serveFault runs the full Figure 2 NPF flow for one fault event and calls
+// done once the device may resume. extraCost is added to the software phase
+// (e.g. the backup resolver's packet copy).
+func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem.PageNum,
+	write bool, start sim.Time, resumeCost, extraCost sim.Time, done func(), retry func()) {
+	trigger := d.Eng.Now() - start
+	sw, _, err := d.faultPrep(as, pages, write)
+	sw += extraCost
+	if err != nil {
+		if !errors.Is(err, mem.ErrOutOfMemory) {
+			// A DMA to an unregistered/unmapped address is a protection
+			// error, not a transient condition: fail loudly.
+			panic(fmt.Sprintf("core: unresolvable NPF on %s: %v", as.Name, err))
+		}
+		// OOM even after reclaim: back off and retry; the device keeps the
+		// operation suspended/parked meanwhile.
+		d.Eng.After(sw+100*sim.Microsecond, retry)
+		return
+	}
+	d.Eng.After(sw, func() {
+		hw := d.faultCommit(as, dom, pages, write)
+		d.Hist.record(trigger, sw, hw, resumeCost)
+		d.Eng.After(hw, done)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// rc.FaultSink: InfiniBand NPFs (Figure 2 flow, §4).
+
+// HandleQPFault implements rc.FaultSink. Faults on paths where the device
+// will WRITE memory (placing incoming sends/writes or read-response data)
+// resolve with write intent, breaking copy-on-write protection like
+// get_user_pages(write) does.
+func (d *Driver) HandleQPFault(ev rc.QPFault) {
+	write := ev.Class == rc.FaultRecvRNPF || ev.Class == rc.FaultReadInitiator
+	d.serveFault(ev.QP.AS, ev.QP.Domain, ev.Missing, write, ev.Start,
+		ev.QP.HCA().Cfg.FirmwareResume, 0,
+		ev.Resolved,
+		func() { d.HandleQPFault(ev) })
+}
+
+// ---------------------------------------------------------------------------
+// nic.NPFSink: Ethernet NPFs (§5).
+
+// HandleTxNPF implements nic.NPFSink for send-side faults.
+func (d *Driver) HandleTxNPF(ev nic.TxNPF) {
+	d.serveFault(ev.Channel.AS, ev.Channel.Domain, ev.Missing, false, ev.Start,
+		ev.Channel.Dev.Cfg.FirmwareResume, 0,
+		ev.Resume,
+		func() { d.HandleTxNPF(ev) })
+}
+
+// HandleRxNPF implements nic.NPFSink for receive faults: drop-policy
+// demand-paging reports and backup-ring entries, demuxed per channel.
+func (d *Driver) HandleRxNPF(entries []nic.RxNPFEntry) {
+	d.RxReports.Add(uint64(len(entries)))
+	for _, e := range entries {
+		st, ok := d.chans[e.Channel]
+		if !ok {
+			panic("core: rNPF on channel without ODP enabled: " + e.Channel.Name)
+		}
+		st.q = append(st.q, e)
+	}
+	for _, e := range entries {
+		d.chans[e.Channel].pump()
+	}
+}
+
+// prefaultPages gathers the missing pages of every posted descriptor
+// (PrefaultRing optimization).
+func (d *Driver) prefaultPages(ch *nic.Channel) []mem.PageNum {
+	seen := make(map[mem.PageNum]bool)
+	var pages []mem.PageNum
+	ch.Rx.ForEachPosted(func(idx int64, desc nic.Descriptor) {
+		_, missing := ch.Domain.TranslateAccess(desc.Buffer, desc.Len, true)
+		for _, pn := range missing {
+			if !seen[pn] {
+				seen[pn] = true
+				pages = append(pages, pn)
+			}
+		}
+	})
+	return pages
+}

@@ -1,0 +1,232 @@
+// Package fabric simulates the physical network joining the hosts: per-node
+// egress and ingress ports with line-rate serialization, propagation delay,
+// bounded buffering, optional random loss, and 802.3x-style link-level
+// pause (flow control).
+//
+// The fabric is deliberately dumb: it moves packets and can lose them.
+// Reliability is the transports' job (internal/rc, internal/tcp), and NPF
+// handling is the NIC's and driver's job — exactly the paper's layering.
+package fabric
+
+import (
+	"fmt"
+
+	"npf/internal/sim"
+)
+
+// NodeID identifies one host/NIC attachment point.
+type NodeID int
+
+// FlowID steers packets to a receive ring at the destination NIC. Flow
+// assignment is the simulator's stand-in for RSS/flow-steering hardware.
+type FlowID int64
+
+// Packet is one frame on the wire. Size covers headers+payload for timing;
+// Payload carries the protocol message as a Go value.
+type Packet struct {
+	Src, Dst NodeID
+	Flow     FlowID
+	Size     int
+	Payload  any
+}
+
+// Endpoint receives packets from the fabric — implemented by the NIC.
+type Endpoint interface {
+	Deliver(pkt *Packet)
+}
+
+// Config sets fabric-wide defaults; per-node rates can be overridden with
+// SetNodeRate.
+type Config struct {
+	// RateBps is the default line rate in bits per second.
+	RateBps int64
+	// Propagation is the one-way wire+switch latency per hop.
+	Propagation sim.Time
+	// IngressBufferBytes bounds each ingress port's queue. When the queue
+	// is full, behaviour depends on Lossless: drop (Ethernet) or
+	// backpressure-free infinite buffering (InfiniBand's credit-based
+	// lossless fabric, approximated). Zero means a 512 KiB default.
+	IngressBufferBytes int
+	// Lossless selects InfiniBand-style no-drop behaviour.
+	Lossless bool
+	// LossProbability drops each delivered packet with this probability
+	// (fault injection for transport tests).
+	LossProbability float64
+}
+
+// DefaultEthernet matches the paper's ConnectX-3 prototype: 12 Gb/s
+// effective (packet duplication halves the 24 Gb/s PCIe ceiling), ~2 µs
+// switch+wire latency.
+func DefaultEthernet() Config {
+	return Config{RateBps: 12e9, Propagation: 2 * sim.Microsecond}
+}
+
+// DefaultInfiniBand matches the Connect-IB testbed: 56 Gb/s, ~1 µs fabric
+// latency, lossless.
+func DefaultInfiniBand() Config {
+	return Config{RateBps: 56e9, Propagation: sim.Microsecond, Lossless: true}
+}
+
+// Network is the fabric instance. All hosts attach to the same Network.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+	rng *sim.Rand
+
+	nodes   map[NodeID]*node
+	nextsID NodeID
+
+	Delivered      sim.Counter
+	DeliveredBytes sim.Counter
+	Dropped        sim.Counter
+}
+
+type node struct {
+	id       NodeID
+	endpoint Endpoint
+	egress   *port
+	ingress  *port
+}
+
+// New creates a network on eng with the given configuration.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.IngressBufferBytes == 0 {
+		cfg.IngressBufferBytes = 512 << 10
+	}
+	return &Network{
+		eng:   eng,
+		cfg:   cfg,
+		rng:   eng.Rand().Split(),
+		nodes: make(map[NodeID]*node),
+	}
+}
+
+// Attach adds an endpoint to the fabric and returns its node id.
+func (n *Network) Attach(ep Endpoint) NodeID {
+	n.nextsID++
+	id := n.nextsID
+	nd := &node{id: id, endpoint: ep}
+	nd.egress = newPort(n, fmt.Sprintf("egress-%d", id), n.cfg.RateBps, 1<<30, true)
+	nd.ingress = newPort(n, fmt.Sprintf("ingress-%d", id), n.cfg.RateBps, n.cfg.IngressBufferBytes, n.cfg.Lossless)
+	n.nodes[id] = nd
+	return id
+}
+
+// SetNodeRate overrides both port rates of one node (e.g. the 12 Gb/s
+// duplication-prototype NIC attached to an otherwise 40 Gb/s fabric).
+func (n *Network) SetNodeRate(id NodeID, rateBps int64) {
+	nd := n.nodes[id]
+	nd.egress.rateBps = rateBps
+	nd.ingress.rateBps = rateBps
+}
+
+// Send injects a packet at its source's egress port. The packet reaches
+// Dst's endpoint after egress serialization, propagation, and ingress
+// serialization — unless it is dropped by a full ingress buffer or the loss
+// injector.
+func (n *Network) Send(pkt *Packet) {
+	src, ok := n.nodes[pkt.Src]
+	if !ok {
+		panic(fmt.Sprintf("fabric: send from unattached node %d", pkt.Src))
+	}
+	if _, ok := n.nodes[pkt.Dst]; !ok {
+		panic(fmt.Sprintf("fabric: send to unattached node %d", pkt.Dst))
+	}
+	src.egress.enqueue(pkt, func(p *Packet) {
+		// Egress done; after propagation the packet hits the destination
+		// ingress port.
+		n.eng.After(n.cfg.Propagation, func() {
+			dst := n.nodes[p.Dst]
+			dst.ingress.enqueue(p, func(p *Packet) {
+				if n.cfg.LossProbability > 0 && n.rng.Bernoulli(n.cfg.LossProbability) {
+					n.Dropped.Inc()
+					return
+				}
+				n.Delivered.Inc()
+				n.DeliveredBytes.Add(uint64(p.Size))
+				dst.endpoint.Deliver(p)
+			})
+		})
+	})
+}
+
+// SetBlackhole makes a node's ingress silently discard all traffic (on) —
+// a true black hole for loss testing, unlike Pause which buffers.
+func (n *Network) SetBlackhole(id NodeID, on bool) {
+	n.nodes[id].ingress.blackhole = on
+}
+
+// Pause asserts or releases link-level flow control on a node's ingress:
+// while paused, packets queue at the ingress port (and, if the buffer
+// fills, are dropped on lossy fabrics — congestion spreading is out of
+// scope, as the paper excludes this mechanism for rNPFs anyway).
+func (n *Network) Pause(id NodeID, paused bool) {
+	n.nodes[id].ingress.setPaused(paused)
+}
+
+// QueuedBytes reports bytes buffered at a node's ingress (visibility for
+// tests).
+func (n *Network) QueuedBytes(id NodeID) int {
+	return n.nodes[id].ingress.queuedBytes
+}
+
+// port is a rate-limited FIFO stage.
+type port struct {
+	net      *Network
+	name     string
+	rateBps  int64
+	capBytes int
+	lossless bool
+
+	queue       []portItem
+	queuedBytes int
+	busy        bool
+	paused      bool
+	blackhole   bool
+}
+
+type portItem struct {
+	pkt  *Packet
+	done func(*Packet)
+}
+
+func newPort(net *Network, name string, rateBps int64, capBytes int, lossless bool) *port {
+	return &port{net: net, name: name, rateBps: rateBps, capBytes: capBytes, lossless: lossless}
+}
+
+func (p *port) enqueue(pkt *Packet, done func(*Packet)) {
+	if p.blackhole {
+		p.net.Dropped.Inc()
+		return
+	}
+	if !p.lossless && p.queuedBytes+pkt.Size > p.capBytes {
+		p.net.Dropped.Inc()
+		return
+	}
+	p.queue = append(p.queue, portItem{pkt, done})
+	p.queuedBytes += pkt.Size
+	p.kick()
+}
+
+func (p *port) setPaused(paused bool) {
+	p.paused = paused
+	if !paused {
+		p.kick()
+	}
+}
+
+func (p *port) kick() {
+	if p.busy || p.paused || len(p.queue) == 0 {
+		return
+	}
+	item := p.queue[0]
+	p.queue = p.queue[1:]
+	p.queuedBytes -= item.pkt.Size
+	p.busy = true
+	ser := sim.Time(int64(item.pkt.Size) * 8 * int64(sim.Second) / p.rateBps)
+	p.net.eng.After(ser, func() {
+		p.busy = false
+		item.done(item.pkt)
+		p.kick()
+	})
+}

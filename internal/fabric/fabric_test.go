@@ -1,0 +1,164 @@
+package fabric
+
+import (
+	"testing"
+
+	"npf/internal/sim"
+)
+
+// sink records delivered packets with their arrival times.
+type sink struct {
+	eng  *sim.Engine
+	pkts []*Packet
+	at   []sim.Time
+}
+
+func (s *sink) Deliver(pkt *Packet) {
+	s.pkts = append(s.pkts, pkt)
+	s.at = append(s.at, s.eng.Now())
+}
+
+func setup(cfg Config) (*sim.Engine, *Network, *sink, *sink, NodeID, NodeID) {
+	eng := sim.NewEngine(1)
+	net := New(eng, cfg)
+	a, b := &sink{eng: eng}, &sink{eng: eng}
+	ida := net.Attach(a)
+	idb := net.Attach(b)
+	return eng, net, a, b, ida, idb
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 2 * sim.Microsecond} // 1 B/ns
+	eng, net, _, b, ida, idb := setup(cfg)
+	net.Send(&Packet{Src: ida, Dst: idb, Size: 1000})
+	eng.Run()
+	if len(b.pkts) != 1 {
+		t.Fatalf("delivered %d packets", len(b.pkts))
+	}
+	// 1000 ns egress + 2000 ns prop + 1000 ns ingress.
+	if want := sim.Time(4000); b.at[0] != want {
+		t.Fatalf("arrival = %v, want %v", b.at[0], want)
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 0}
+	eng, net, _, b, ida, idb := setup(cfg)
+	for i := 0; i < 3; i++ {
+		net.Send(&Packet{Src: ida, Dst: idb, Size: 1000})
+	}
+	eng.Run()
+	if len(b.at) != 3 {
+		t.Fatalf("delivered %d", len(b.at))
+	}
+	// Back-to-back at line rate: one packet per 1000 ns after the pipe
+	// fills (egress+ingress for the first = 2000 ns).
+	if b.at[0] != 2000 || b.at[1] != 3000 || b.at[2] != 4000 {
+		t.Fatalf("arrivals = %v", b.at)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	cfg := DefaultEthernet()
+	eng, net, _, b, ida, idb := setup(cfg)
+	for i := 0; i < 50; i++ {
+		net.Send(&Packet{Src: ida, Dst: idb, Size: 1500, Payload: i})
+	}
+	eng.Run()
+	for i, p := range b.pkts {
+		if p.Payload.(int) != i {
+			t.Fatalf("reordered: got %v at %d", p.Payload, i)
+		}
+	}
+}
+
+func TestIngressOverflowDropsWhenLossy(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 0, IngressBufferBytes: 3000}
+	eng, net, _, b, ida, idb := setup(cfg)
+	net.Pause(idb, true) // ingress cannot drain
+	for i := 0; i < 10; i++ {
+		net.Send(&Packet{Src: ida, Dst: idb, Size: 1000})
+	}
+	eng.Run()
+	if len(b.pkts) != 0 {
+		t.Fatal("paused ingress delivered packets")
+	}
+	if net.Dropped.N == 0 {
+		t.Fatal("full lossy ingress should drop")
+	}
+	net.Pause(idb, false)
+	eng.Run()
+	if len(b.pkts) != 3 {
+		t.Fatalf("after unpause delivered %d, want 3 (buffer capacity)", len(b.pkts))
+	}
+}
+
+func TestLosslessNeverDrops(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 0, IngressBufferBytes: 2000, Lossless: true}
+	eng, net, _, b, ida, idb := setup(cfg)
+	net.Pause(idb, true)
+	for i := 0; i < 10; i++ {
+		net.Send(&Packet{Src: ida, Dst: idb, Size: 1000})
+	}
+	eng.Run()
+	net.Pause(idb, false)
+	eng.Run()
+	if len(b.pkts) != 10 {
+		t.Fatalf("lossless delivered %d, want 10", len(b.pkts))
+	}
+	if net.Dropped.N != 0 {
+		t.Fatal("lossless fabric dropped")
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	cfg := Config{RateBps: 100e9, Propagation: 0, LossProbability: 0.5}
+	eng, net, _, b, ida, idb := setup(cfg)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		net.Send(&Packet{Src: ida, Dst: idb, Size: 100})
+	}
+	eng.Run()
+	got := len(b.pkts)
+	if got < n/3 || got > 2*n/3 {
+		t.Fatalf("delivered %d of %d with p=0.5 loss", got, n)
+	}
+	if int(net.Dropped.N)+got != n {
+		t.Fatalf("drops+delivered = %d, want %d", int(net.Dropped.N)+got, n)
+	}
+}
+
+func TestPerNodeRateOverride(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 0}
+	eng, net, _, b, ida, idb := setup(cfg)
+	net.SetNodeRate(idb, 4e9) // ingress at half rate: 2 ns/byte
+	net.Send(&Packet{Src: ida, Dst: idb, Size: 1000})
+	eng.Run()
+	if want := sim.Time(1000 + 2000); b.at[0] != want {
+		t.Fatalf("arrival = %v, want %v", b.at[0], want)
+	}
+}
+
+func TestStreamsShareEgressFairlyEnough(t *testing.T) {
+	// Two destinations from one source: both are limited by the shared
+	// egress, arriving interleaved.
+	cfg := Config{RateBps: 8e9, Propagation: 0}
+	eng := sim.NewEngine(1)
+	net := New(eng, cfg)
+	src := &sink{eng: eng}
+	b1, b2 := &sink{eng: eng}, &sink{eng: eng}
+	idsrc := net.Attach(src)
+	id1, id2 := net.Attach(b1), net.Attach(b2)
+	for i := 0; i < 10; i++ {
+		net.Send(&Packet{Src: idsrc, Dst: id1, Size: 1000})
+		net.Send(&Packet{Src: idsrc, Dst: id2, Size: 1000})
+	}
+	end := eng.Run()
+	if len(b1.pkts) != 10 || len(b2.pkts) != 10 {
+		t.Fatalf("delivered %d/%d", len(b1.pkts), len(b2.pkts))
+	}
+	// 20 KB over a shared 1 B/ns egress ≥ 20 µs.
+	if end < 20000 {
+		t.Fatalf("finished too fast: %v", end)
+	}
+}

@@ -1,0 +1,259 @@
+// Package iommu models the I/O memory management unit that translates
+// device DMA addresses (IOVAs) to physical frames. In the paper's prototype
+// the IOMMU lives on the NIC (Connect-IB's own translation tables are used
+// in place of ATS/PRI); here a Unit holds per-IOchannel Domains whose page
+// tables may contain non-present entries — the prerequisite for network
+// page faults.
+//
+// The Unit does not resolve faults; it only reports missing translations.
+// The driver (internal/core) maps pages after the OS faults them in, and
+// unmaps them from MMU-notifier callbacks, paying the modelled costs for
+// page-table updates and IOTLB invalidations.
+package iommu
+
+import (
+	"fmt"
+
+	"npf/internal/mem"
+	"npf/internal/sim"
+)
+
+// DomainID identifies a translation domain (one per IOchannel).
+type DomainID int32
+
+// Costs models hardware/software interaction latencies of the on-NIC IOMMU.
+// The paper notes (§4) that driver updates to the NIC's DRAM-resident page
+// tables require explicit communication with the device due to coherency,
+// which is why "update hw PT" is tagged [sw + hw] in Figure 3.
+type Costs struct {
+	// MapSync is the fixed cost of one page-table update transaction with
+	// the device (doorbell + coherency sync).
+	MapSync sim.Time
+	// MapPerPage is the incremental cost per PTE written in a batch.
+	MapPerPage sim.Time
+	// InvalidateSync is the fixed cost of an IOTLB invalidation handshake
+	// (Figure 2 steps b–c: driver issues invalidation, NIC acknowledges).
+	InvalidateSync sim.Time
+	// InvalidatePerPage is the incremental cost per invalidated PTE.
+	InvalidatePerPage sim.Time
+	// WalkLatency is the device-side cost of a page-table walk on an IOTLB
+	// miss.
+	WalkLatency sim.Time
+}
+
+// DefaultCosts returns values calibrated against the paper's Figure 3.
+func DefaultCosts() Costs {
+	return Costs{
+		MapSync:           35 * sim.Microsecond,
+		MapPerPage:        35 * sim.Nanosecond,
+		InvalidateSync:    30 * sim.Microsecond,
+		InvalidatePerPage: 40 * sim.Nanosecond,
+		WalkLatency:       200 * sim.Nanosecond,
+	}
+}
+
+// Unit is one IOMMU instance (one per NIC).
+type Unit struct {
+	Costs   Costs
+	domains map[DomainID]*Domain
+	nextID  DomainID
+
+	iotlb *iotlb
+
+	// Faults counts translation misses observed by devices.
+	Faults sim.Counter
+}
+
+// New returns a Unit with default costs and an IOTLB of the given capacity
+// in entries (0 disables IOTLB modelling: every access walks).
+func New(iotlbEntries int) *Unit {
+	u := &Unit{
+		Costs:   DefaultCosts(),
+		domains: make(map[DomainID]*Domain),
+	}
+	if iotlbEntries > 0 {
+		u.iotlb = newIOTLB(iotlbEntries)
+	}
+	return u
+}
+
+// Domain is one I/O page table: the set of IOVAs a device may currently DMA
+// to. Page numbers are in the owning IOuser's virtual address space (the
+// paper's IOVAs equal process virtual addresses for RDMA memory regions).
+type Domain struct {
+	ID      DomainID
+	unit    *Unit
+	present map[mem.PageNum]bool // page → writable
+	// guest is the optional IOuser-managed first translation level (§2.4).
+	guest *GuestTable
+	// Mapped counts currently present PTEs.
+	Mapped int
+}
+
+// NewDomain allocates a fresh, empty translation domain.
+func (u *Unit) NewDomain() *Domain {
+	u.nextID++
+	d := &Domain{ID: u.nextID, unit: u, present: make(map[mem.PageNum]bool)}
+	u.domains[d.ID] = d
+	return d
+}
+
+// Present reports whether page pn currently translates (for at least read
+// access).
+func (d *Domain) Present(pn mem.PageNum) bool { _, ok := d.present[pn]; return ok }
+
+// Writable reports whether page pn translates for device writes.
+func (d *Domain) Writable(pn mem.PageNum) bool { return d.present[pn] }
+
+// MappedPages returns the number of present PTEs.
+func (d *Domain) MappedPages() int { return d.Mapped }
+
+// Map installs translations for count pages starting at first, returning
+// the modelled driver+hardware cost. Already-present pages cost only the
+// per-page increment (the sync is paid once per batch).
+func (d *Domain) Map(first mem.PageNum, count int) sim.Time {
+	if count <= 0 {
+		return 0
+	}
+	cost := d.unit.Costs.MapSync
+	for i := 0; i < count; i++ {
+		cost += d.mapOne(first+mem.PageNum(i), true)
+	}
+	return cost
+}
+
+// mapOne installs or upgrades one PTE, returning the per-page increment.
+func (d *Domain) mapOne(pn mem.PageNum, writable bool) sim.Time {
+	w, ok := d.present[pn]
+	if !ok {
+		d.present[pn] = writable
+		d.Mapped++
+	} else if writable && !w {
+		d.present[pn] = true // permission upgrade
+		if d.unit.iotlb != nil {
+			d.unit.iotlb.invalidate(d.ID, pn) // stale read-only entry
+		}
+	}
+	return d.unit.Costs.MapPerPage
+}
+
+// MapBatch installs translations for an arbitrary set of pages in one
+// device transaction: the sync cost is paid once (the paper's batched
+// page-table update, §4's third optimization; ATS/PRI would force one
+// transaction per page).
+func (d *Domain) MapBatch(pages []mem.PageNum) sim.Time {
+	return d.MapBatchPerm(pages, true)
+}
+
+// MapBatchPerm is MapBatch with explicit write permission — the driver maps
+// pages it resolved without write intent as read-only (the memory region's
+// COW protection stays intact), so a later device write faults again and
+// upgrades.
+func (d *Domain) MapBatchPerm(pages []mem.PageNum, writable bool) sim.Time {
+	if len(pages) == 0 {
+		return 0
+	}
+	cost := d.unit.Costs.MapSync
+	for _, pn := range pages {
+		cost += d.mapOne(pn, writable)
+	}
+	return cost
+}
+
+// Unmap removes translations for count pages starting at first and flushes
+// the IOTLB for them. It returns the cost and how many PTEs were actually
+// present. Unmapping nothing costs nothing beyond the check (the paper's
+// Figure 3b fast path: lazily mapped pages are often absent).
+func (d *Domain) Unmap(first mem.PageNum, count int) (sim.Time, int) {
+	removed := 0
+	for i := 0; i < count; i++ {
+		pn := first + mem.PageNum(i)
+		if _, ok := d.present[pn]; ok {
+			delete(d.present, pn)
+			d.Mapped--
+			removed++
+			if d.unit.iotlb != nil {
+				d.unit.iotlb.invalidate(d.ID, pn)
+			}
+		}
+	}
+	if removed == 0 {
+		return 0, 0
+	}
+	cost := d.unit.Costs.InvalidateSync + sim.Time(removed)*d.unit.Costs.InvalidatePerPage
+	return cost, removed
+}
+
+// UnmapBatch removes an arbitrary set of translations in one invalidation
+// transaction: the sync cost is paid once for the whole batch.
+func (d *Domain) UnmapBatch(pages []mem.PageNum) (sim.Time, int) {
+	removed := 0
+	for _, pn := range pages {
+		if _, ok := d.present[pn]; ok {
+			delete(d.present, pn)
+			d.Mapped--
+			removed++
+			if d.unit.iotlb != nil {
+				d.unit.iotlb.invalidate(d.ID, pn)
+			}
+		}
+	}
+	if removed == 0 {
+		return 0, 0
+	}
+	return d.unit.Costs.InvalidateSync + sim.Time(removed)*d.unit.Costs.InvalidatePerPage, removed
+}
+
+// Translate checks translations for the byte range [addr, addr+length) on
+// behalf of a device access. It returns the device-side lookup cost and the
+// page numbers that failed to translate (in order, deduplicated). A
+// non-empty miss list is a DMA page fault.
+func (d *Domain) Translate(addr mem.VAddr, length int) (cost sim.Time, missing []mem.PageNum) {
+	return d.TranslateAccess(addr, length, false)
+}
+
+// TranslateAccess checks translations for a device access with the given
+// intent: with write=true, present-but-read-only pages count as missing (a
+// permission fault — indistinguishable from a presence fault at the device,
+// both are NPFs).
+func (d *Domain) TranslateAccess(addr mem.VAddr, length int, write bool) (cost sim.Time, missing []mem.PageNum) {
+	if length <= 0 {
+		return 0, nil
+	}
+	first := addr.Page()
+	n := mem.PagesSpanned(addr, length)
+	walk := d.unit.Costs.WalkLatency
+	if d.guest != nil {
+		walk *= 2 // two-dimensional translation: both levels walked
+	}
+	for i := 0; i < n; i++ {
+		pn := first + mem.PageNum(i)
+		if d.unit.iotlb != nil {
+			if d.unit.iotlb.lookup(d.ID, pn, write) {
+				// IOTLB hit: translation cached with sufficient permission,
+				// and cached entries are always valid (invalidated on unmap
+				// and on permission upgrades).
+				continue
+			}
+			cost += walk
+			if w, ok := d.present[pn]; ok && (!write || w) {
+				d.unit.iotlb.insert(d.ID, pn, w)
+			} else {
+				d.unit.Faults.Inc()
+				missing = append(missing, pn)
+			}
+			continue
+		}
+		cost += walk
+		if w, ok := d.present[pn]; !ok || (write && !w) {
+			d.unit.Faults.Inc()
+			missing = append(missing, pn)
+		}
+	}
+	return cost, missing
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (d *Domain) String() string {
+	return fmt.Sprintf("iommu-domain %d (%d mapped)", d.ID, d.Mapped)
+}

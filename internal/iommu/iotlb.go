@@ -1,0 +1,78 @@
+package iommu
+
+import (
+	"container/list"
+
+	"npf/internal/mem"
+	"npf/internal/sim"
+)
+
+// iotlbKey identifies one cached translation.
+type iotlbKey struct {
+	dom DomainID
+	pn  mem.PageNum
+}
+
+// iotlb is a fully associative LRU translation cache. Real IOTLBs are
+// set-associative, but for fault-behaviour studies only capacity misses and
+// invalidations matter.
+type iotlb struct {
+	capacity int
+	entries  map[iotlbKey]*list.Element
+	// writable records the cached entry's permission.
+	writable map[iotlbKey]bool
+	lru      *list.List // front = oldest
+
+	Hits   sim.Counter
+	Misses sim.Counter
+}
+
+func newIOTLB(capacity int) *iotlb {
+	return &iotlb{
+		capacity: capacity,
+		entries:  make(map[iotlbKey]*list.Element),
+		writable: make(map[iotlbKey]bool),
+		lru:      list.New(),
+	}
+}
+
+// lookup reports whether the translation is cached with sufficient
+// permission, refreshing its LRU position on a hit.
+func (t *iotlb) lookup(dom DomainID, pn mem.PageNum, write bool) bool {
+	key := iotlbKey{dom, pn}
+	if el, ok := t.entries[key]; ok && (!write || t.writable[key]) {
+		t.lru.MoveToBack(el)
+		t.Hits.Inc()
+		return true
+	}
+	t.Misses.Inc()
+	return false
+}
+
+// insert caches a translation, evicting the LRU entry at capacity.
+func (t *iotlb) insert(dom DomainID, pn mem.PageNum, writable bool) {
+	key := iotlbKey{dom, pn}
+	if _, ok := t.entries[key]; ok {
+		t.writable[key] = writable
+		return
+	}
+	if t.lru.Len() >= t.capacity {
+		front := t.lru.Front()
+		victim := front.Value.(iotlbKey)
+		t.lru.Remove(front)
+		delete(t.entries, victim)
+		delete(t.writable, victim)
+	}
+	t.entries[key] = t.lru.PushBack(key)
+	t.writable[key] = writable
+}
+
+// invalidate drops one cached translation if present.
+func (t *iotlb) invalidate(dom DomainID, pn mem.PageNum) {
+	key := iotlbKey{dom, pn}
+	if el, ok := t.entries[key]; ok {
+		t.lru.Remove(el)
+		delete(t.entries, key)
+		delete(t.writable, key)
+	}
+}

@@ -1,0 +1,112 @@
+package mem
+
+import (
+	"testing"
+
+	"npf/internal/sim"
+)
+
+func TestForkChildLazyCopy(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	parent := m.NewAddressSpace("parent", nil)
+	parent.MapBytes(1 << 20)
+	parent.TouchPages(0, 8, true)
+	child, _ := parent.Fork("child", nil)
+	if child.ResidentBytes() != 0 {
+		t.Fatalf("child resident = %d, want lazy", child.ResidentBytes())
+	}
+	if child.MappedBytes() != parent.MappedBytes() {
+		t.Fatal("child VMA mismatch")
+	}
+	res, err := child.TouchPages(0, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Minor != 1 {
+		t.Fatalf("child first touch: %+v", res)
+	}
+	// Materialisation includes the page copy.
+	if res.Cost < m.Costs.MinorFault+CowCopyCost {
+		t.Fatalf("cost %v below fault+copy", res.Cost)
+	}
+}
+
+func TestForkWriteProtectsParent(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	parent := m.NewAddressSpace("parent", nil)
+	parent.MapBytes(1 << 20)
+	parent.TouchPages(0, 4, true)
+	var invalidated int
+	parent.RegisterNotifier(NotifierFunc(func(first PageNum, count int) sim.Time {
+		invalidated += count
+		return 0
+	}))
+	parent.Fork("child", nil)
+	if invalidated != 4 {
+		t.Fatalf("fork invalidated %d pages, want all 4 present ones", invalidated)
+	}
+	// Reads stay free.
+	res, _ := parent.TouchPages(0, 1, false)
+	if res.Minor != 0 || res.Cost != 0 {
+		t.Fatalf("read after fork: %+v", res)
+	}
+	// First write breaks COW: a minor fault with copy cost.
+	res, _ = parent.TouchPages(0, 1, true)
+	if res.Minor != 1 || res.Cost < CowCopyCost {
+		t.Fatalf("COW break: %+v", res)
+	}
+	if parent.CowBreaks.N != 1 {
+		t.Fatalf("cow breaks = %d", parent.CowBreaks.N)
+	}
+	// Second write is free.
+	res, _ = parent.TouchPages(0, 1, true)
+	if res.Minor != 0 {
+		t.Fatalf("second write: %+v", res)
+	}
+}
+
+func TestForkSkipsPinnedPages(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	parent := m.NewAddressSpace("parent", nil)
+	parent.MapBytes(1 << 20)
+	parent.Pin(0, 2)
+	parent.TouchPages(2, 2, true)
+	parent.Fork("child", nil)
+	// Pinned pages stay writable (DMA-targeted memory cannot be
+	// write-protected under static pinning).
+	res, _ := parent.TouchPages(0, 1, true)
+	if res.Minor != 0 {
+		t.Fatalf("pinned page write-protected by fork: %+v", res)
+	}
+}
+
+func TestMigratePagesInvalidates(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.TouchPages(0, 8, true)
+	var invalidated int
+	as.RegisterNotifier(NotifierFunc(func(first PageNum, count int) sim.Time {
+		invalidated += count
+		return 2 * sim.Microsecond
+	}))
+	as.Pin(7, 1)
+	n, cost := as.MigratePages(0, 8)
+	if n != 7 {
+		t.Fatalf("migrated %d, want 7 (pinned skipped)", n)
+	}
+	if invalidated != 7 {
+		t.Fatalf("invalidated %d", invalidated)
+	}
+	if cost < 7*(MigratePerPage+2*sim.Microsecond) {
+		t.Fatalf("cost %v too low", cost)
+	}
+	// Content survives: CPU touch is free, pages still resident.
+	res, _ := as.TouchPages(0, 7, false)
+	if res.Minor+res.Major != 0 {
+		t.Fatalf("migration lost content: %+v", res)
+	}
+	if as.Migrations.N != 7 {
+		t.Fatalf("migrations = %d", as.Migrations.N)
+	}
+}

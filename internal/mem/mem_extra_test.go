@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultInRangeBatchesCheaperThanTouch(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	asA := m.NewAddressSpace("touch", nil)
+	asA.MapBytes(8 << 20)
+	asB := m.NewAddressSpace("batch", nil)
+	asB.MapBytes(8 << 20)
+
+	resTouch, err := asA.TouchPages(0, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBatch, err := asB.FaultInRange(0, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBatch.Minor != 1024 || resTouch.Minor != 1024 {
+		t.Fatalf("minor counts: touch=%d batch=%d", resTouch.Minor, resBatch.Minor)
+	}
+	if resBatch.Cost >= resTouch.Cost {
+		t.Fatalf("batched fault-in %v should be cheaper than per-page touches %v",
+			resBatch.Cost, resTouch.Cost)
+	}
+}
+
+func TestFaultInRangeMajor(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.TouchPages(0, 4, true)
+	as.EvictPages(0, 4)
+	res, err := as.FaultInRange(0, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Major != 4 || res.Minor != 4 {
+		t.Fatalf("major=%d minor=%d, want 4/4", res.Major, res.Minor)
+	}
+	if res.Cost < 4*m.Swap.ReadLatency {
+		t.Fatalf("cost %v below 4 swap reads", res.Cost)
+	}
+}
+
+func TestDiscardPagesMakesMinorRefaults(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.TouchPages(0, 2, true) // dirty
+	n, _ := as.DiscardPages(0, 2)
+	if n != 2 {
+		t.Fatalf("discarded %d", n)
+	}
+	res, err := as.TouchPages(0, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Major != 0 || res.Minor != 2 {
+		t.Fatalf("refault major=%d minor=%d, want minor only", res.Major, res.Minor)
+	}
+}
+
+func TestDiscardSkipsPinned(t *testing.T) {
+	m := newTestMachine(1 << 30)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.Pin(0, 1)
+	if n, _ := as.DiscardPages(0, 1); n != 0 {
+		t.Fatalf("discarded pinned page")
+	}
+}
+
+func TestPinUnwindOnOOM(t *testing.T) {
+	m := newTestMachine(4 * PageSize)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	// Pinning 6 pages into 4 pages of RAM must fail and leave nothing
+	// pinned behind.
+	_, err := as.Pin(0, 6)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v", err)
+	}
+	if as.PinnedBytes() != 0 {
+		t.Fatalf("failed pin left %d bytes pinned", as.PinnedBytes())
+	}
+	// The space is still usable afterwards.
+	if _, err := as.Pin(0, 4); err != nil {
+		t.Fatalf("subsequent pin: %v", err)
+	}
+}
+
+func TestPinnedImpliesResidentInvariant(t *testing.T) {
+	m := newTestMachine(8 * PageSize)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	if _, err := as.Pin(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := PageNum(0); i < 8; i++ {
+		if as.Pinned(i) && !as.Resident(i) {
+			t.Fatalf("page %d pinned but not resident", i)
+		}
+	}
+}
+
+func TestGroupOOMCounter(t *testing.T) {
+	m := newTestMachine(2 * PageSize)
+	as := m.NewAddressSpace("p", nil)
+	as.MapBytes(1 << 20)
+	as.Pin(0, 2)
+	if _, err := as.TouchPages(4, 1, false); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.RAM.OOMs.N != 1 {
+		t.Fatalf("OOM counter = %d", m.RAM.OOMs.N)
+	}
+}
+
+func TestSwapBandwidthCost(t *testing.T) {
+	d := &SwapDevice{ReadLatency: 0, ReadBandwidth: 1 << 30} // 1 GiB/s
+	cost := d.ReadCost(1 << 20)                              // 1 MiB
+	wantNs := int64(1<<20) * 1e9 / (1 << 30)
+	if int64(cost) != wantNs {
+		t.Fatalf("cost = %v, want %dns", cost, wantNs)
+	}
+}

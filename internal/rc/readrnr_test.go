@@ -1,0 +1,89 @@
+package rc
+
+import (
+	"testing"
+
+	"npf/internal/mem"
+	"npf/internal/sim"
+)
+
+// §4 future-work extension: RC's end-to-end flow control extended to
+// remote reads, so a faulting initiator suspends the responder instead of
+// dropping the stream.
+
+func TestReadRNRExtensionCompletes(t *testing.T) {
+	e := newRCEnv(t, func(c *Config) { c.ReadRNRExtension = true })
+	const n = 64 << 10
+	warm(e.b, 8, 16) // remote source warm; local destination cold
+	done := false
+	e.a.OnReadComplete = func(int64) { done = true }
+	e.a.PostRead(ReadWQE{ID: 1, Laddr: 0, Raddr: mem.PageNum(8).Base(), Len: n})
+	e.eng.Run()
+	if !done {
+		t.Fatal("read did not complete with the extension")
+	}
+	if e.a.hca.ReadRewinds.N != 0 {
+		t.Fatal("extension must not rewind (the responder was suspended)")
+	}
+	if e.a.hca.RNRNacks.N == 0 {
+		t.Fatal("no read-RNR sent")
+	}
+}
+
+func TestReadRNRExtensionWastesLess(t *testing.T) {
+	// Repeated cold-destination reads: the extension suspends the
+	// responder after at most a window of wasted chunks, while the
+	// baseline lets the full remaining window pour in and drop.
+	run := func(ext bool) (dropped uint64, elapsed sim.Time) {
+		e := newRCEnv(t, func(c *Config) { c.ReadRNRExtension = ext })
+		warm(e.b, 1024, 512)
+		done := 0
+		var doneAt sim.Time
+		var next func()
+		next = func() {
+			if done >= 8 {
+				doneAt = e.eng.Now()
+				return
+			}
+			// Each read lands in a fresh, cold 128 KB destination.
+			e.a.PostRead(ReadWQE{
+				ID:    int64(done),
+				Laddr: mem.VAddr(done) * (128 << 10),
+				Raddr: mem.PageNum(1024).Base(),
+				Len:   128 << 10,
+			})
+		}
+		e.a.OnReadComplete = func(int64) { done++; next() }
+		next()
+		e.eng.Run()
+		return e.a.hca.DroppedRNPF.N, doneAt
+	}
+	baseDropped, baseTime := run(false)
+	extDropped, extTime := run(true)
+	if extDropped >= baseDropped {
+		t.Fatalf("extension dropped %d chunks, baseline %d — should waste less",
+			extDropped, baseDropped)
+	}
+	if baseTime == 0 || extTime == 0 {
+		t.Fatal("a run did not complete")
+	}
+	if extTime > baseTime {
+		t.Fatalf("extension slower: %v vs %v", extTime, baseTime)
+	}
+}
+
+func TestReadCreditsBoundInflight(t *testing.T) {
+	// With a tiny window, a large read must still complete (credits keep
+	// flowing as the initiator places data).
+	e := newRCEnv(t, func(c *Config) { c.ReadWindow = 4 })
+	const n = 256 << 10 // 64 chunks >> window 4
+	warm(e.a, 0, n/mem.PageSize)
+	warm(e.b, 256, n/mem.PageSize)
+	done := false
+	e.a.OnReadComplete = func(int64) { done = true }
+	e.a.PostRead(ReadWQE{ID: 1, Laddr: 0, Raddr: mem.PageNum(256).Base(), Len: n})
+	e.eng.Run()
+	if !done {
+		t.Fatal("windowed read did not complete")
+	}
+}

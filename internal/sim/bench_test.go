@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < b.N {
+			e.After(10, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, step)
+	e.Run()
+}
+
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := NewEngine(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := e.At(Time(i+1), func() {})
+		e.Cancel(id)
+	}
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i & 1023))
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that every other subsystem in this repository runs on.
+//
+// A single Engine owns a virtual clock and a priority queue of events.
+// Components schedule callbacks with At/After; Run drains the queue in
+// (time, sequence) order, so two runs with the same seed and the same
+// schedule produce byte-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, usable as sim.Time spans.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Forever is a time later than any event the engine will ever execute.
+const Forever Time = math.MaxInt64
+
+// Duration converts a standard library duration into a virtual time span.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds, for human-readable output.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant, preserving scheduling order.
+type event struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rng     *Rand
+	stopped bool
+	// executed counts events run, for diagnostics and runaway detection.
+	executed uint64
+	// MaxEvents aborts Run with a panic after this many events, guarding
+	// against accidental infinite simulations. Zero means no limit.
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine whose clock reads zero and whose random source
+// is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (before Now) panics: that is always a component bug.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already ran or
+// was already cancelled is a no-op; Cancel reports whether the event was
+// actually removed.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Forever) }
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// after the deadline remain queued; the clock is advanced to the deadline if
+// it is reached (and the deadline is not Forever).
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.at > deadline {
+			if deadline != Forever {
+				e.now = deadline
+			}
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.executed++
+		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
+		}
+		next.fn()
+	}
+	if deadline != Forever && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

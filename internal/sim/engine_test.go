@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterChains(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	var step func()
+	step = func() {
+		fired = append(fired, e.Now())
+		if len(fired) < 5 {
+			e.After(7, step)
+		}
+	}
+	e.After(7, step)
+	e.Run()
+	for i, ft := range fired {
+		if want := Time(7 * (i + 1)); ft != want {
+			t.Fatalf("fired[%d]=%v want %v", i, ft, want)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	id := e.At(10, func() { ran = true })
+	if !e.Cancel(id) {
+		t.Fatal("first Cancel should report true")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel should report false")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var ran []Time
+	for _, at := range []Time{5, 15, 25} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(20)
+	if len(ran) != 2 {
+		t.Fatalf("ran %v events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+	e.Run()
+	if len(ran) != 3 {
+		t.Fatalf("remaining event did not run: %v", ran)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine(1)
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock = %v, want 100", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	for i := Time(1); i <= 10; i++ {
+		e.At(i, func() {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", n)
+	}
+	// Run resumes.
+	e.Run()
+	if n != 10 {
+		t.Fatalf("resume ran to %d, want 10", n)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []uint64 {
+		e := NewEngine(seed)
+		var out []uint64
+		var step func()
+		step = func() {
+			out = append(out, e.Rand().Uint64())
+			if len(out) < 100 {
+				e.After(Time(e.Rand().Intn(50)+1), step)
+			}
+		}
+		e.After(1, step)
+		e.Run()
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// Property: events always execute in non-decreasing time order, whatever the
+// schedule.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var times []Time
+		for _, d := range delays {
+			e.At(Time(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram accumulates latency samples and reports percentiles. It keeps
+// raw samples; experiment populations here are small enough (≤ millions)
+// that exact percentiles are affordable and reproducible.
+type Histogram struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+}
+
+// AddTime records a virtual-time span as microseconds.
+func (h *Histogram) AddTime(t Time) { h.Add(t.Micros()) }
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+func (h *Histogram) sort() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[len(h.samples)-1]
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sort()
+	return h.samples[0]
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p95=%.1f p99=%.1f max=%.1f",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+}
+
+// Counter is a monotonically increasing event counter with an associated
+// rate helper.
+type Counter struct {
+	N uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.N++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.N += n }
+
+// Rate reports events per virtual second over the span [start, end].
+func (c *Counter) Rate(start, end Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(c.N) / (end - start).Seconds()
+}
+
+// TimeSeries records (time, value) points bucketed at a fixed interval;
+// used for throughput-versus-time figures.
+type TimeSeries struct {
+	Interval Time
+	buckets  map[int64]float64
+}
+
+// NewTimeSeries returns a series with the given bucketing interval.
+func NewTimeSeries(interval Time) *TimeSeries {
+	return &TimeSeries{Interval: interval, buckets: make(map[int64]float64)}
+}
+
+// Observe adds v to the bucket containing time t.
+func (ts *TimeSeries) Observe(t Time, v float64) {
+	ts.buckets[int64(t)/int64(ts.Interval)] += v
+}
+
+// Points returns the series as ordered (bucket-start-seconds, value) pairs.
+// Buckets with no observations between the first and last bucket are
+// reported as zero, so gaps (e.g. the cold-ring outage) are visible.
+func (ts *TimeSeries) Points() (times, values []float64) {
+	if len(ts.buckets) == 0 {
+		return nil, nil
+	}
+	keys := make([]int64, 0, len(ts.buckets))
+	for k := range ts.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for k := keys[0]; k <= keys[len(keys)-1]; k++ {
+		times = append(times, (Time(k) * ts.Interval).Seconds())
+		values = append(values, ts.buckets[k])
+	}
+	return times, values
+}
+
+// RatePoints returns Points with each value divided by the interval in
+// seconds, i.e. a per-second rate series.
+func (ts *TimeSeries) RatePoints() (times, rates []float64) {
+	times, values := ts.Points()
+	ivalSec := ts.Interval.Seconds()
+	rates = make([]float64, len(values))
+	for i, v := range values {
+		rates[i] = v / ivalSec
+	}
+	return times, rates
+}

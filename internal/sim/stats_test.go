@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Errorf("p50 = %v, want 50", got)
+	}
+	if got := h.Percentile(99); got != 99 {
+		t.Errorf("p99 = %v, want 99", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Errorf("max = %v, want 100", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("min = %v, want 1", got)
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Percentile(50) != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by [Min, Max].
+func TestHistogramMonotoneProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Add(v)
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		prev := h.Min()
+		for p := 0.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(5), NewRand(5)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed sources diverged")
+		}
+	}
+}
+
+func TestRandRanges(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Zipf(100, 1.2); v < 0 || v >= 100 {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if mean < 9.5 || mean > 10.5 {
+		t.Fatalf("Exp mean = %v, want ≈10", mean)
+	}
+}
+
+func TestRandSplitIndependence(t *testing.T) {
+	r := NewRand(3)
+	s := r.Split()
+	if r.Uint64() == s.Uint64() {
+		t.Fatal("split source mirrors parent")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(Second)
+	ts.Observe(100*Millisecond, 1)
+	ts.Observe(900*Millisecond, 1)
+	ts.Observe(2500*Millisecond, 4)
+	times, values := ts.Points()
+	if len(times) != 3 {
+		t.Fatalf("got %d buckets, want 3 (gap bucket included)", len(times))
+	}
+	if values[0] != 2 || values[1] != 0 || values[2] != 4 {
+		t.Fatalf("values = %v", values)
+	}
+	_, rates := ts.RatePoints()
+	if rates[2] != 4 {
+		t.Fatalf("rate = %v, want 4/s", rates[2])
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	var c Counter
+	c.Add(500)
+	if got := c.Rate(0, 2*Second); got != 250 {
+		t.Fatalf("rate = %v, want 250", got)
+	}
+	if got := c.Rate(5, 5); got != 0 {
+		t.Fatalf("zero-span rate = %v, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRand(4)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,387 @@
+package tcp
+
+import (
+	"npf/internal/fabric"
+	"npf/internal/sim"
+)
+
+// Conn is one TCP connection. Applications write framed messages with Send
+// and receive them via OnMessage; on the wire everything is a sequenced
+// byte stream.
+type Conn struct {
+	stack    *Stack
+	id       uint64
+	peerNode fabric.NodeID
+	peerFlow fabric.FlowID
+	state    ConnState
+
+	// Application callbacks.
+	OnMessage func(payload any, length int)
+	OnConnect func()
+	OnFail    func(err error)
+
+	// Sender state (bytes).
+	sndUna   uint64
+	sndNxt   uint64
+	sndMax   uint64 // highest sequence ever transmitted (survives rewinds)
+	written  uint64
+	cwnd     int
+	ssthresh int
+	sendQ    []*segment // segmented at Send() time, not yet transmitted
+	inflight []*segment
+	dupAcks  int
+
+	// RTO state.
+	srtt, rttvar sim.Time
+	rto          sim.Time
+	retries      int
+	synRetries   int
+	timer        sim.EventID
+	timerArmed   bool
+	// rttSeq/rttSentAt sample one segment per window for RTT estimation
+	// (Karn's algorithm: never sample retransmitted data).
+	rttSeq    uint64
+	rttSentAt sim.Time
+	rttValid  bool
+
+	// Receiver state.
+	rcvNxt uint64
+	ooo    map[uint64]*segment
+}
+
+func newConn(s *Stack, id uint64, peerNode fabric.NodeID, peerFlow fabric.FlowID, st ConnState) *Conn {
+	return &Conn{
+		stack:    s,
+		id:       id,
+		peerNode: peerNode,
+		peerFlow: peerFlow,
+		state:    st,
+		cwnd:     s.Cfg.InitialCwndSegs * s.Cfg.MSS,
+		ssthresh: s.Cfg.RWndBytes,
+		rto:      s.Cfg.InitRTO,
+		ooo:      make(map[uint64]*segment),
+	}
+}
+
+// State returns the connection state.
+func (c *Conn) State() ConnState { return c.state }
+
+// ID returns the connection identifier.
+func (c *Conn) ID() uint64 { return c.id }
+
+// Close tears the connection down locally (no FIN handshake is modelled).
+func (c *Conn) Close() {
+	c.state = StateClosed
+	c.disarmTimer()
+	delete(c.stack.conns, c.id)
+}
+
+// Send writes one framed application message of length bytes. The payload
+// travels with the segment carrying the message's final byte and is
+// delivered to the peer's OnMessage once the stream is contiguous there.
+func (c *Conn) Send(length int, payload any) {
+	if c.state == StateFailed || c.state == StateClosed {
+		return
+	}
+	mss := c.stack.Cfg.MSS
+	remaining := length
+	for remaining > 0 {
+		chunk := remaining
+		if chunk > mss {
+			chunk = mss
+		}
+		seg := &segment{Conn: c.id, Kind: segData, Seq: c.written, Len: chunk}
+		c.written += uint64(chunk)
+		remaining -= chunk
+		if remaining == 0 {
+			seg.Msgs = []msgEnd{{EndOff: c.written, Len: length, Payload: payload}}
+		}
+		c.sendQ = append(c.sendQ, seg)
+	}
+	if c.state == StateEstablished {
+		c.trySend()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handshake.
+
+func (c *Conn) sendSyn() {
+	c.sendSegment(&segment{Conn: c.id, Kind: segSyn})
+	c.armTimer(c.backoff(c.stack.Cfg.SynRTO, c.synRetries), func() {
+		if c.state != StateSynSent {
+			return
+		}
+		c.synRetries++
+		c.stack.Retransmits.Inc()
+		if c.synRetries > c.stack.Cfg.SynMaxRetries {
+			c.fail()
+			return
+		}
+		c.sendSyn()
+	})
+}
+
+func (c *Conn) establish() {
+	c.state = StateEstablished
+	c.disarmTimer()
+	c.retries = 0
+	if c.OnConnect != nil {
+		c.OnConnect()
+	}
+	c.trySend()
+}
+
+func (c *Conn) fail() {
+	c.state = StateFailed
+	c.disarmTimer()
+	c.stack.Failures.Inc()
+	if c.OnFail != nil {
+		c.OnFail(ErrTooManyRetries)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sender.
+
+func (c *Conn) inflightBytes() int {
+	return int(c.sndNxt - c.sndUna)
+}
+
+// trySend transmits queued segments within min(cwnd, rwnd).
+func (c *Conn) trySend() {
+	cfg := c.stack.Cfg
+	wnd := c.cwnd
+	if wnd > cfg.RWndBytes {
+		wnd = cfg.RWndBytes
+	}
+	sent := false
+	for len(c.sendQ) > 0 {
+		seg := c.sendQ[0]
+		// A rewind may have requeued data that a late ACK then covered.
+		if seg.Seq+uint64(seg.Len) <= c.sndUna {
+			c.sendQ = c.sendQ[1:]
+			continue
+		}
+		if c.inflightBytes()+seg.Len > wnd {
+			break
+		}
+		c.sendQ = c.sendQ[1:]
+		c.inflight = append(c.inflight, seg)
+		c.sndNxt = seg.Seq + uint64(seg.Len)
+		if c.sndNxt > c.sndMax {
+			c.sndMax = c.sndNxt
+		}
+		if !c.rttValid {
+			c.rttSeq = seg.Seq + uint64(seg.Len)
+			c.rttSentAt = c.stack.eng.Now()
+			c.rttValid = true
+		}
+		c.sendDataSegment(seg)
+		sent = true
+	}
+	if sent {
+		c.ensureRTOTimer()
+	}
+}
+
+func (c *Conn) sendDataSegment(seg *segment) {
+	seg.Ack = c.rcvNxt
+	c.stack.transmit(c.peerNode, c.peerFlow, seg)
+}
+
+func (c *Conn) sendSegment(seg *segment) {
+	seg.Ack = c.rcvNxt
+	c.stack.transmit(c.peerNode, c.peerFlow, seg)
+}
+
+func (c *Conn) sendAck() {
+	c.sendSegment(&segment{Conn: c.id, Kind: segData, Seq: c.sndNxt, Len: 0})
+}
+
+// handleAck processes the cumulative acknowledgment on an incoming segment.
+func (c *Conn) handleAck(ack uint64) {
+	cfg := c.stack.Cfg
+	if ack > c.sndMax {
+		return // acking data we never sent; ignore
+	}
+	if ack > c.sndUna {
+		// New data acknowledged. A late ACK may land after a rewind, in
+		// which case it also moves the (rewound) send point forward.
+		c.sndUna = ack
+		if c.sndNxt < ack {
+			c.sndNxt = ack
+		}
+		c.dupAcks = 0
+		c.retries = 0
+		for len(c.inflight) > 0 && c.inflight[0].Seq+uint64(c.inflight[0].Len) <= ack {
+			c.inflight = c.inflight[1:]
+		}
+		// RTT sample (Karn: only if the sampled range is fully acked and
+		// was never retransmitted; retransmission invalidates the sample).
+		if c.rttValid && ack >= c.rttSeq {
+			c.updateRTT(c.stack.eng.Now() - c.rttSentAt)
+			c.rttValid = false
+		}
+		// Congestion window growth.
+		if c.cwnd < c.ssthresh {
+			c.cwnd += cfg.MSS // slow start
+		} else {
+			c.cwnd += cfg.MSS * cfg.MSS / c.cwnd // congestion avoidance
+		}
+		if len(c.inflight) == 0 {
+			c.disarmTimer()
+		} else {
+			c.restartRTOTimer()
+		}
+		c.trySend()
+		return
+	}
+	if ack == c.sndUna && len(c.inflight) > 0 {
+		c.dupAcks++
+		if c.dupAcks == 3 {
+			// Fast retransmit.
+			c.stack.FastRetx.Inc()
+			c.stack.Retransmits.Inc()
+			c.ssthresh = max(c.inflightBytes()/2, 2*cfg.MSS)
+			c.cwnd = c.ssthresh
+			c.rttValid = false
+			c.sendDataSegment(c.inflight[0])
+			c.restartRTOTimer()
+		}
+	}
+}
+
+func (c *Conn) updateRTT(sample sim.Time) {
+	if c.srtt == 0 {
+		c.srtt = sample
+		c.rttvar = sample / 2
+	} else {
+		delta := c.srtt - sample
+		if delta < 0 {
+			delta = -delta
+		}
+		c.rttvar = (3*c.rttvar + delta) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < c.stack.Cfg.MinRTO {
+		c.rto = c.stack.Cfg.MinRTO
+	}
+	if c.rto > c.stack.Cfg.MaxRTO {
+		c.rto = c.stack.Cfg.MaxRTO
+	}
+}
+
+// backoff doubles d n times, capped at MaxRTO.
+func (c *Conn) backoff(d sim.Time, n int) sim.Time {
+	for i := 0; i < n && d < c.stack.Cfg.MaxRTO; i++ {
+		d *= 2
+	}
+	if d > c.stack.Cfg.MaxRTO {
+		d = c.stack.Cfg.MaxRTO
+	}
+	return d
+}
+
+func (c *Conn) ensureRTOTimer() {
+	if !c.timerArmed {
+		c.restartRTOTimer()
+	}
+}
+
+func (c *Conn) restartRTOTimer() {
+	c.armTimer(c.backoff(c.rto, c.retries), c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.state != StateEstablished || len(c.inflight) == 0 {
+		return
+	}
+	cfg := c.stack.Cfg
+	c.stack.Timeouts.Inc()
+	c.retries++
+	if c.retries > cfg.MaxRetries {
+		c.fail()
+		return
+	}
+	// Loss is taken as congestion: collapse the window, go back to the
+	// first unacked segment (go-back-N), and back the timer off.
+	c.ssthresh = max(c.inflightBytes()/2, 2*cfg.MSS)
+	c.cwnd = cfg.MSS
+	c.dupAcks = 0
+	c.rttValid = false
+	// Requeue all inflight segments ahead of unsent data.
+	c.sendQ = append(append([]*segment{}, c.inflight...), c.sendQ...)
+	c.inflight = nil
+	c.sndNxt = c.sndUna
+	c.stack.Retransmits.Inc()
+	c.trySend()
+	// trySend arms the timer with the backed-off RTO.
+	if len(c.inflight) > 0 {
+		c.restartRTOTimer()
+	}
+}
+
+func (c *Conn) armTimer(d sim.Time, fn func()) {
+	c.disarmTimer()
+	c.timerArmed = true
+	c.timer = c.stack.eng.After(d, func() {
+		c.timerArmed = false
+		fn()
+	})
+}
+
+func (c *Conn) disarmTimer() {
+	if c.timerArmed {
+		c.stack.eng.Cancel(c.timer)
+		c.timerArmed = false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receiver.
+
+func (c *Conn) handleData(seg *segment) {
+	c.handleAck(seg.Ack)
+	if seg.Len == 0 {
+		return // pure ACK
+	}
+	switch {
+	case seg.Seq == c.rcvNxt:
+		c.consume(seg)
+		// Drain any out-of-order segments that are now contiguous.
+		for {
+			next, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.consume(next)
+		}
+		c.sendAck()
+	case seg.Seq > c.rcvNxt:
+		// Hole: buffer and send a duplicate ACK.
+		c.ooo[seg.Seq] = seg
+		c.sendAck()
+	default:
+		// Already received (retransmission overlap): re-ack.
+		c.sendAck()
+	}
+}
+
+func (c *Conn) consume(seg *segment) {
+	c.rcvNxt = seg.Seq + uint64(seg.Len)
+	if c.OnMessage != nil {
+		for _, m := range seg.Msgs {
+			c.OnMessage(m.Payload, m.Len)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+// Package tcp implements the transport the paper's Ethernet IOusers run
+// over their direct channels: a TCP stack in the spirit of lwIP/Linux with
+// slow start, congestion avoidance, retransmission timeouts with
+// exponential backoff, duplicate-ACK fast retransmit, SYN retries, and
+// abort after too many retries.
+//
+// These mechanisms — not raw bandwidth — are what make dropping
+// rNPF-faulting packets catastrophic (§5's cold-ring problem): drops look
+// like congestion, the sender backs off exactly when the receiver needs
+// more packets to page its ring in, and the two sides converge to a
+// near-deadlock or a declared connection failure.
+//
+// The stack is message-oriented at the API (applications send and receive
+// framed messages) but fully byte-stream sequenced on the wire, so loss,
+// reordering, and partial delivery behave like real TCP.
+package tcp
+
+import (
+	"errors"
+	"fmt"
+
+	"npf/internal/fabric"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/sim"
+)
+
+// ErrTooManyRetries is reported to the application when the stack gives up
+// on a connection (§5: "the TCP maximal retry number is exceeded and the
+// stack announces a failure to the application layer").
+var ErrTooManyRetries = errors.New("tcp: connection failed: too many retransmissions")
+
+// Config holds stack parameters; defaults mirror the paper-era Linux 3.x
+// values that shape Figure 4.
+type Config struct {
+	MSS             int      // payload bytes per segment
+	HeaderBytes     int      // wire overhead per segment
+	RWndBytes       int      // receiver window (fixed)
+	InitialCwndSegs int      // IW (Linux 3.x: 10)
+	InitRTO         sim.Time // RFC 6298 initial RTO
+	MinRTO          sim.Time
+	MaxRTO          sim.Time
+	MaxRetries      int // data retransmissions before abort (Linux tcp_retries2)
+	SynRTO          sim.Time
+	SynMaxRetries   int // Linux tcp_syn_retries
+	TxRingEntries   int // transmit buffer ring size
+}
+
+// DefaultConfig returns Linux-3.x-like parameters with a 4000-byte MSS
+// (jumbo frames keep simulated event counts tractable; see DESIGN.md §6).
+func DefaultConfig() Config {
+	return Config{
+		MSS:             4000,
+		HeaderBytes:     66,
+		RWndBytes:       1 << 20,
+		InitialCwndSegs: 10,
+		InitRTO:         sim.Second,
+		MinRTO:          200 * sim.Millisecond,
+		MaxRTO:          60 * sim.Second,
+		MaxRetries:      15,
+		SynRTO:          sim.Second,
+		SynMaxRetries:   6,
+		TxRingEntries:   512,
+	}
+}
+
+type segKind int
+
+const (
+	segSyn segKind = iota
+	segSynAck
+	segData // carries Len payload bytes (Len may be 0 for a pure ACK)
+)
+
+// msgEnd marks an application message whose last byte is at stream offset
+// EndOff-1; its payload is delivered when the receiver's in-order point
+// passes EndOff.
+type msgEnd struct {
+	EndOff  uint64
+	Len     int
+	Payload any
+}
+
+// segment is the wire unit.
+type segment struct {
+	Conn     uint64
+	Kind     segKind
+	Seq      uint64
+	Len      int
+	Ack      uint64
+	Msgs     []msgEnd
+	SrcNode  fabric.NodeID
+	SrcFlow  fabric.FlowID
+	ListenID uint64 // SYN: which listener on the peer stack
+}
+
+// ConnState is the connection lifecycle state.
+type ConnState int
+
+const (
+	StateSynSent ConnState = iota
+	StateEstablished
+	StateFailed
+	StateClosed
+)
+
+func (s ConnState) String() string {
+	switch s {
+	case StateSynSent:
+		return "syn-sent"
+	case StateEstablished:
+		return "established"
+	case StateFailed:
+		return "failed"
+	case StateClosed:
+		return "closed"
+	}
+	return "invalid"
+}
+
+// Stack is one TCP endpoint bound to a NIC channel. It owns the channel's
+// receive ring buffers and a transmit buffer ring in the IOuser's address
+// space — under ODP these are ordinary unpinned memory and fault on first
+// touch (the cold ring).
+type Stack struct {
+	Cfg Config
+	ch  *nic.Channel
+	eng *sim.Engine
+
+	conns    map[uint64]*Conn
+	nextConn uint64
+	listen   func(*Conn)
+
+	rxBufBase mem.VAddr
+	txBufBase mem.VAddr
+	txNext    int
+
+	// Stats.
+	SegsSent    sim.Counter
+	SegsRecv    sim.Counter
+	Retransmits sim.Counter
+	Timeouts    sim.Counter
+	FastRetx    sim.Counter
+	Failures    sim.Counter
+}
+
+// NewStack builds a stack over ch and posts the full receive ring. Buffers
+// are allocated (mapped, not touched) from the channel's address space.
+func NewStack(ch *nic.Channel, cfg Config) *Stack {
+	s := &Stack{
+		Cfg:   cfg,
+		ch:    ch,
+		eng:   ch.Dev.Eng,
+		conns: make(map[uint64]*Conn),
+	}
+	bufBytes := int64(mem.PageSize)
+	ringSize := ch.Rx.Size()
+	s.rxBufBase = ch.AS.MapBytes(int64(ringSize) * bufBytes)
+	s.txBufBase = ch.AS.MapBytes(int64(cfg.TxRingEntries) * bufBytes)
+	ch.SetRxHandler(s)
+	ch.SetTxHandler(s)
+	for i := 0; i < ringSize; i++ {
+		ch.Rx.PostRx(nic.Descriptor{Buffer: s.rxBuf(int64(i)), Len: mem.PageSize})
+	}
+	return s
+}
+
+// Channel returns the underlying NIC channel.
+func (s *Stack) Channel() *nic.Channel { return s.ch }
+
+// RxBuffers returns the base address and byte length of the receive-ring
+// buffer region (used by pinning strategies and fault injectors).
+func (s *Stack) RxBuffers() (mem.VAddr, int64) {
+	return s.rxBufBase, int64(s.ch.Rx.Size()) * mem.PageSize
+}
+
+// TxBuffers returns the transmit buffer region.
+func (s *Stack) TxBuffers() (mem.VAddr, int64) {
+	return s.txBufBase, int64(s.Cfg.TxRingEntries) * mem.PageSize
+}
+
+func (s *Stack) rxBuf(i int64) mem.VAddr {
+	return s.rxBufBase + mem.VAddr(i%int64(s.ch.Rx.Size()))*mem.PageSize
+}
+
+// Listen installs the accept callback for incoming connections.
+func (s *Stack) Listen(fn func(*Conn)) { s.listen = fn }
+
+// Dial opens a connection to the stack listening on (peerNode, peerFlow).
+// The returned Conn is usable immediately: writes queue until the handshake
+// completes.
+func (s *Stack) Dial(peerNode fabric.NodeID, peerFlow fabric.FlowID) *Conn {
+	s.nextConn++
+	// Connection ids must be unique across every stack in the simulation:
+	// combine the fabric node, the channel flow, and a local counter.
+	id := uint64(s.ch.Dev.Node)<<48 | uint64(s.ch.Flow)<<32 | s.nextConn
+	c := newConn(s, id, peerNode, peerFlow, StateSynSent)
+	s.conns[id] = c
+	c.sendSyn()
+	return c
+}
+
+// RxComplete implements nic.RxHandler.
+func (s *Stack) RxComplete(ch *nic.Channel, comps []nic.RxCompletion) {
+	for _, comp := range comps {
+		s.SegsRecv.Inc()
+		seg := comp.Payload.(*segment)
+		s.handleSegment(seg)
+		// lwIP-style fixed buffers: recycle the completed buffer.
+		ch.Rx.PostRx(nic.Descriptor{Buffer: s.rxBuf(comp.Index), Len: mem.PageSize})
+	}
+}
+
+// TxComplete implements nic.TxHandler. Buffers are recycled round-robin;
+// nothing to do.
+func (s *Stack) TxComplete(ch *nic.Channel, comps []nic.TxCompletion) {}
+
+func (s *Stack) handleSegment(seg *segment) {
+	switch seg.Kind {
+	case segSyn:
+		c, ok := s.conns[seg.Conn]
+		if !ok {
+			if s.listen == nil {
+				return
+			}
+			c = newConn(s, seg.Conn, seg.SrcNode, seg.SrcFlow, StateEstablished)
+			s.conns[seg.Conn] = c
+			s.listen(c)
+		}
+		// Respond to every SYN, including duplicates: the client may have
+		// lost our SYN-ACK to a cold ring.
+		c.sendSegment(&segment{Conn: c.id, Kind: segSynAck})
+	case segSynAck:
+		c, ok := s.conns[seg.Conn]
+		if !ok || c.state != StateSynSent {
+			return
+		}
+		c.establish()
+	case segData:
+		c, ok := s.conns[seg.Conn]
+		if !ok || c.state == StateFailed || c.state == StateClosed {
+			return
+		}
+		c.handleData(seg)
+	}
+}
+
+// transmit posts one segment to the NIC. The TX buffer may fault (send-side
+// NPF) under ODP; the NIC suspends and the driver resolves it.
+func (s *Stack) transmit(peerNode fabric.NodeID, peerFlow fabric.FlowID, seg *segment) {
+	s.SegsSent.Inc()
+	seg.SrcNode = s.ch.Dev.Node
+	seg.SrcFlow = s.ch.Flow
+	buf := s.txBufBase + mem.VAddr(s.txNext%s.Cfg.TxRingEntries)*mem.PageSize
+	s.txNext++
+	s.ch.Tx.Post(nic.TxDesc{
+		Buffer:  buf,
+		Len:     seg.Len + s.Cfg.HeaderBytes,
+		Dst:     peerNode,
+		DstFlow: peerFlow,
+		Payload: seg,
+	})
+}
+
+func (s *Stack) String() string { return fmt.Sprintf("tcp-stack(%s)", s.ch.Name) }

@@ -1,0 +1,215 @@
+// Package npf is a simulation library reproducing "Page Fault Support for
+// Network Controllers" (Lesokhin et al., ASPLOS 2017) — the on-demand
+// paging (ODP) design that lets NICs take DMA page faults instead of
+// forcing IOusers to pin memory.
+//
+// The library bundles a deterministic discrete-event simulator with every
+// layer the paper touches:
+//
+//   - host virtual memory (frames, demand paging, swap, cgroup limits,
+//     MMU notifiers, pinning) — npf/internal/mem
+//   - an on-NIC IOMMU with faultable page tables — npf/internal/iommu
+//   - a network fabric (line rates, propagation, loss, pause) —
+//     npf/internal/fabric
+//   - an Ethernet NIC implementing the paper's Figure 6 backup-ring
+//     hardware, plus drop and pinned policies — npf/internal/nic
+//   - an InfiniBand HCA with RC/UD transports, RNR-NACK-based receive
+//     fault handling, and RDMA read rewind — npf/internal/rc
+//   - a TCP stack (slow start, RTO backoff, fast retransmit) that exhibits
+//     the paper's cold-ring collapse — npf/internal/tcp
+//   - the IOprovider driver: the paper's contribution (Figure 2 fault and
+//     invalidation flows, backup-ring resolver, batching/prefetch) and its
+//     baselines (static / fine-grained / pin-down-cache pinning) —
+//     npf/internal/core
+//   - the evaluation workloads and an experiment harness regenerating
+//     every table and figure — npf/internal/apps, npf/internal/bench
+//
+// This root package re-exports the pieces a user composes, and offers a
+// Cluster convenience wrapper; see examples/ for runnable programs and
+// cmd/npfbench for the paper's evaluation.
+package npf
+
+import (
+	"npf/internal/core"
+	"npf/internal/fabric"
+	"npf/internal/iommu"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/tcp"
+)
+
+// Simulation engine.
+type (
+	// Engine is the discrete-event simulator all components share.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Histogram collects latency samples.
+	Histogram = sim.Histogram
+)
+
+// Re-exported time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewEngine returns a deterministic engine seeded with seed.
+func NewEngine(seed int64) *Engine { return sim.NewEngine(seed) }
+
+// Memory subsystem.
+type (
+	// Machine is one host's memory substrate.
+	Machine = mem.Machine
+	// AddressSpace is one IOuser's demand-paged virtual address space.
+	AddressSpace = mem.AddressSpace
+	// MemGroup is a cgroup-style accounting domain with a byte limit.
+	MemGroup = mem.Group
+	// PageCache is an OS page cache over a simulated disk.
+	PageCache = mem.PageCache
+	// VAddr is a virtual address; PageNum a virtual page number.
+	VAddr   = mem.VAddr
+	PageNum = mem.PageNum
+)
+
+// PageSize is the simulated page size (4 KiB).
+const PageSize = mem.PageSize
+
+// NewMachine creates a host memory substrate with ramBytes of physical
+// memory.
+func NewMachine(eng *Engine, ramBytes int64) *Machine { return mem.NewMachine(eng, ramBytes) }
+
+// NewMemGroup creates a memory-accounting group (cgroup) with a byte limit.
+func NewMemGroup(name string, limit int64) *MemGroup { return mem.NewGroup(name, limit) }
+
+// Fabric.
+type (
+	// Network is the fabric joining hosts.
+	Network = fabric.Network
+	// FabricConfig parameterises it.
+	FabricConfig = fabric.Config
+	// NodeID identifies an attachment point.
+	NodeID = fabric.NodeID
+	// FlowID steers packets to channels.
+	FlowID = fabric.FlowID
+)
+
+// EthernetFabric returns the paper's 12 Gb/s prototype Ethernet config.
+func EthernetFabric() FabricConfig { return fabric.DefaultEthernet() }
+
+// InfiniBandFabric returns the 56 Gb/s lossless Connect-IB config.
+func InfiniBandFabric() FabricConfig { return fabric.DefaultInfiniBand() }
+
+// NewNetwork creates a fabric on eng.
+func NewNetwork(eng *Engine, cfg FabricConfig) *Network { return fabric.New(eng, cfg) }
+
+// Ethernet NIC.
+type (
+	// Device is an Ethernet NIC with NPF support.
+	Device = nic.Device
+	// Channel is a direct I/O channel (the paper's IOchannel).
+	Channel = nic.Channel
+	// NICConfig holds device latencies.
+	NICConfig = nic.Config
+	// FaultPolicy selects pinned / drop / backup-ring receive behaviour.
+	FaultPolicy = nic.FaultPolicy
+)
+
+// Receive fault policies (Figure 4/10 configurations).
+const (
+	PolicyPinned = nic.PolicyPinned
+	PolicyDrop   = nic.PolicyDrop
+	PolicyBackup = nic.PolicyBackup
+)
+
+// NewDevice creates an Ethernet NIC attached to net.
+func NewDevice(eng *Engine, net *Network, cfg NICConfig) *Device { return nic.NewDevice(eng, net, cfg) }
+
+// DefaultNICConfig returns latencies calibrated to the paper's Figure 3.
+func DefaultNICConfig() NICConfig { return nic.DefaultConfig() }
+
+// InfiniBand.
+type (
+	// HCA is an InfiniBand adapter with ODP firmware support.
+	HCA = rc.HCA
+	// QP is a reliable-connection queue pair.
+	QP = rc.QP
+	// HCAConfig holds adapter parameters.
+	HCAConfig = rc.Config
+	// SendWQE / RecvWQE / ReadWQE are work requests.
+	SendWQE = rc.SendWQE
+	RecvWQE = rc.RecvWQE
+	ReadWQE = rc.ReadWQE
+	// RecvCompletion reports an incoming message.
+	RecvCompletion = rc.RecvCompletion
+)
+
+// NewHCA creates an InfiniBand adapter attached to net.
+func NewHCA(eng *Engine, net *Network, cfg HCAConfig) *HCA { return rc.NewHCA(eng, net, cfg) }
+
+// DefaultHCAConfig returns Connect-IB-calibrated parameters.
+func DefaultHCAConfig() HCAConfig { return rc.DefaultConfig() }
+
+// DefaultRoCEConfig returns parameters for RDMA over Converged Ethernet
+// (§4 "Applicability"): the same NPF machinery over a lossy fabric, with a
+// tighter retransmission timeout backing the out-of-sequence NAKs.
+func DefaultRoCEConfig() HCAConfig { return rc.DefaultRoCEConfig() }
+
+// ConnectQPs wires two queue pairs into a reliable connection.
+func ConnectQPs(a, b *QP) { rc.Connect(a, b) }
+
+// TCP.
+type (
+	// Stack is a TCP endpoint over a NIC channel.
+	Stack = tcp.Stack
+	// Conn is one TCP connection.
+	Conn = tcp.Conn
+	// TCPConfig holds stack parameters.
+	TCPConfig = tcp.Config
+)
+
+// NewStack builds a TCP stack over ch.
+func NewStack(ch *Channel, cfg TCPConfig) *Stack { return tcp.NewStack(ch, cfg) }
+
+// DefaultTCPConfig returns Linux-3.x-like TCP parameters.
+func DefaultTCPConfig() TCPConfig { return tcp.DefaultConfig() }
+
+// The driver — the paper's contribution.
+type (
+	// Driver is the IOprovider's NPF driver (ODP).
+	Driver = core.Driver
+	// DriverConfig holds driver cost parameters and policy knobs.
+	DriverConfig = core.Config
+	// PinDownCache is the coarse-grained pinning baseline.
+	PinDownCache = core.PinDownCache
+	// IOMMUDomain is a device translation domain.
+	IOMMUDomain = iommu.Domain
+	// GuestTable is the IOuser-managed first level of a 2D IOMMU
+	// translation (§2.4): strict protection orthogonal to ODP.
+	GuestTable = iommu.GuestTable
+)
+
+// NewGuestTable returns an empty (all-blocking) guest table; install it
+// with Domain.SetGuestTable and grant ranges with Allow.
+func NewGuestTable() *GuestTable { return iommu.NewGuestTable() }
+
+// NewDriver creates an NPF driver for one host.
+func NewDriver(eng *Engine, cfg DriverConfig) *Driver { return core.NewDriver(eng, cfg) }
+
+// DefaultDriverConfig returns Figure-3-calibrated driver costs.
+func DefaultDriverConfig() DriverConfig { return core.DefaultConfig() }
+
+// StaticPinAll pins an entire address space (the SRIOV/DPDK production
+// baseline). It fails when physical memory cannot hold it.
+func StaticPinAll(as *AddressSpace, dom *IOMMUDomain) (Time, error) {
+	return core.StaticPinAll(as, dom)
+}
+
+// NewPinDownCache creates a bounded pin-down cache over (as, dom).
+func NewPinDownCache(as *AddressSpace, dom *IOMMUDomain, capacity int64) *PinDownCache {
+	return core.NewPinDownCache(as, dom, capacity)
+}

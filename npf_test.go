@@ -1,0 +1,120 @@
+package npf
+
+import "testing"
+
+// Facade-level tests: the public API alone must be enough to build working
+// setups (this is what the examples rely on).
+
+func TestClusterQuickstartFlow(t *testing.T) {
+	cluster := NewCluster(1, InfiniBandFabric())
+	a := cluster.NewHost("a", 8<<30)
+	b := cluster.NewHost("b", 8<<30)
+	src := a.NewProcess("src", nil)
+	src.MapBytes(1 << 20)
+	dst := b.NewProcess("dst", nil)
+	dst.MapBytes(1 << 20)
+	qpA, qpB := a.OpenQP(src), b.OpenQP(dst)
+	ConnectQPs(qpA, qpB)
+
+	var got any
+	qpB.OnRecv = func(c RecvCompletion) { got = c.Payload }
+	qpB.PostRecv(RecvWQE{ID: 1, Addr: 0, Len: 64 << 10})
+	qpA.PostSend(SendWQE{ID: 1, Laddr: 0, Len: 64 << 10, Payload: "hi"})
+	cluster.Eng.Run()
+
+	if got != "hi" {
+		t.Fatalf("payload = %v", got)
+	}
+	if a.Driver.NPFs.N == 0 || b.Driver.NPFs.N == 0 {
+		t.Fatal("cold transfer should have faulted on both sides")
+	}
+	if src.PinnedBytes() != 0 || dst.PinnedBytes() != 0 {
+		t.Fatal("ODP must not pin")
+	}
+}
+
+func TestClusterEthernetChannelODP(t *testing.T) {
+	cluster := NewCluster(2, EthernetFabric())
+	server := cluster.NewHost("server", 8<<30)
+	client := cluster.NewHost("client", 8<<30)
+
+	sAS := server.NewProcess("srv", nil)
+	sCh := server.OpenChannel("srv", sAS, 64, PolicyBackup)
+	sStack := NewStack(sCh, DefaultTCPConfig())
+
+	cAS := client.NewProcess("cli", nil)
+	cCh := client.OpenChannel("cli", cAS, 64, PolicyPinned)
+	cStack := NewStack(cCh, DefaultTCPConfig())
+	if _, err := StaticPinAll(cAS, cCh.Domain); err != nil {
+		t.Fatal(err)
+	}
+
+	received := 0
+	sStack.Listen(func(c *Conn) {
+		c.OnMessage = func(payload any, n int) { received++ }
+	})
+	conn := cStack.Dial(sCh.Dev.Node, sCh.Flow)
+	for i := 0; i < 10; i++ {
+		conn.Send(4000, i)
+	}
+	cluster.Eng.RunUntil(10 * Second)
+	if received != 10 {
+		t.Fatalf("received %d/10 over a cold backup ring", received)
+	}
+}
+
+func TestClusterMemoryGroup(t *testing.T) {
+	cluster := NewCluster(3, EthernetFabric())
+	h := cluster.NewHost("h", 1<<30)
+	cg := NewMemGroup("container", 16*PageSize)
+	p := h.NewProcess("p", cg)
+	p.MapBytes(1 << 20)
+	if _, err := p.TouchPages(0, 64, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.ResidentBytes() != 16*PageSize {
+		t.Fatalf("resident = %d, want cgroup limit", p.ResidentBytes())
+	}
+}
+
+func TestPinDownCacheFacade(t *testing.T) {
+	cluster := NewCluster(4, InfiniBandFabric())
+	h := cluster.NewHost("h", 1<<30)
+	as := h.NewProcess("p", nil)
+	as.MapBytes(16 << 20)
+	qp := h.OpenPinnedQP(as)
+	pdc := NewPinDownCache(as, qp.Domain, 1<<20)
+	if _, err := pdc.Acquire(0, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if pdc.PinnedBytes() != 64<<10 {
+		t.Fatalf("pinned = %d", pdc.PinnedBytes())
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() (uint64, Time) {
+		cluster := NewCluster(99, InfiniBandFabric())
+		a := cluster.NewHost("a", 8<<30)
+		b := cluster.NewHost("b", 8<<30)
+		src := a.NewProcess("src", nil)
+		src.MapBytes(8 << 20)
+		dst := b.NewProcess("dst", nil)
+		dst.MapBytes(8 << 20)
+		qpA, qpB := a.OpenQP(src), b.OpenQP(dst)
+		ConnectQPs(qpA, qpB)
+		var last Time
+		qpB.OnRecv = func(RecvCompletion) { last = cluster.Eng.Now() }
+		for i := 0; i < 20; i++ {
+			qpB.PostRecv(RecvWQE{ID: int64(i), Addr: VAddr(i%4) * 65536, Len: 64 << 10})
+			qpA.PostSend(SendWQE{ID: int64(i), Laddr: VAddr(i%4) * 65536, Len: 64 << 10})
+		}
+		cluster.Eng.Run()
+		return cluster.Eng.Executed(), last
+	}
+	e1, t1 := run()
+	e2, t2 := run()
+	if e1 != e2 || t1 != t2 {
+		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}
