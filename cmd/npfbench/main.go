@@ -8,6 +8,8 @@
 //
 //	-quick   smaller trial counts / shorter runs (CI-friendly)
 //	-root    repository root for the loc experiment (default ".")
+//	-trace   write a Chrome trace_event JSON (load in Perfetto / about:tracing)
+//	         covering every engine the selected experiments build
 package main
 
 import (
@@ -18,12 +20,23 @@ import (
 
 	"npf/internal/bench"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	root := flag.String("root", ".", "repository root (for the loc experiment)")
+	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	flag.Parse()
+
+	var tracers []*trace.Tracer
+	if *traceOut != "" {
+		bench.TraceFactory = func(eng *sim.Engine) *trace.Tracer {
+			tr := trace.New(eng)
+			tracers = append(tracers, tr)
+			return tr
+		}
+	}
 
 	experiments := flag.Args()
 	if len(experiments) == 0 {
@@ -95,5 +108,26 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, time.Since(start).Round(time.Millisecond), out)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.ExportChromeTrace(f, tracers); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		spans := 0
+		for _, tr := range tracers {
+			spans += tr.SpanCount()
+		}
+		fmt.Printf("trace: wrote %d spans from %d engines to %s\n", spans, len(tracers), *traceOut)
 	}
 }

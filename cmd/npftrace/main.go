@@ -1,0 +1,145 @@
+// Command npftrace runs small, seeded NPF scenarios with tracing enabled
+// and prints what the telemetry subsystem recorded: the span tree, the
+// slowest NPFs, a per-stage latency breakdown (the span-derived equivalent
+// of the paper's Figure 3a), and the metrics snapshot.
+//
+// Scenarios:
+//
+//	single   one cold receive on an IB QP → a single recv-side rNPF
+//	fig3     repeated minor rNPFs (Figure 3a conditions, 4KB messages)
+//	backup   TCP into a cold 16-entry server ring under the backup-ring
+//	         policy (§5) — park/replay spans plus TCP retransmissions
+//
+// Flags:
+//
+//	-scenario  which scenario to run (default "single")
+//	-seed      engine seed (default 7)
+//	-trials    NPF count for fig3 (default 50)
+//	-k         how many slowest NPFs to list (default 5)
+//	-size      message bytes for single/fig3 (default 4096)
+//	-o         also write a Chrome trace_event JSON (Perfetto-loadable)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"npf/internal/apps"
+	"npf/internal/bench"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/trace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "single", "scenario: single, fig3, backup")
+	seed := flag.Int64("seed", 7, "engine seed")
+	trials := flag.Int("trials", 50, "NPF count for the fig3 scenario")
+	topK := flag.Int("k", 5, "how many slowest NPFs to list")
+	size := flag.Int("size", 4096, "message bytes for single/fig3")
+	out := flag.String("o", "", "write Chrome trace JSON to this file")
+	flag.Parse()
+
+	var tr *trace.Tracer
+	switch *scenario {
+	case "single":
+		tr = runIB(*seed, 1, *size)
+	case "fig3":
+		tr = runIB(*seed, *trials, *size)
+	case "backup":
+		tr = runBackup(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	spans := tr.Spans()
+	if *scenario == "single" {
+		fmt.Println("== span tree ==")
+		trace.WriteTree(os.Stdout, spans)
+		fmt.Println()
+	}
+
+	fmt.Printf("== top %d slowest NPFs ==\n", *topK)
+	for _, r := range trace.TopSlowest(spans, "npf", *topK) {
+		fmt.Printf("  #%-6d %-14s %8.1fus  @%.1fus\n",
+			r.Span.ID, r.Span.Name, r.Dur.Micros(), r.Span.Start.Micros())
+	}
+	fmt.Println()
+
+	stages := trace.StageBreakdown(spans, "npf")
+	fmt.Println("== NPF stage breakdown (µs, span-derived Fig. 3a) ==")
+	trace.WriteStageTable(os.Stdout, stages)
+	fmt.Printf("hardware share (firmware+update+resume): %.1f%%  (paper: ~90%% at 4KB)\n\n",
+		trace.HardwareShare(stages)*100)
+
+	fmt.Println("== metrics ==")
+	fmt.Print(tr.MetricsSnapshot())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npftrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "npftrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "npftrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d spans to %s\n", tr.SpanCount(), *out)
+	}
+}
+
+// runIB reproduces the Figure 3a conditions: a warm sender posting
+// size-byte messages into cold receive buffers, each receive raising a
+// minor rNPF on the responder.
+func runIB(seed int64, trials, size int) *trace.Tracer {
+	e := bench.NewIBEnv(bench.IBOpts{Seed: seed, Trace: true})
+	pages := (size + mem.PageSize - 1) / mem.PageSize
+	bench.Warm(e.QPA, 0, pages*2)
+	const window = 8
+	done := 0
+	var runTrial func()
+	runTrial = func() {
+		if done >= trials {
+			e.Eng.Stop()
+			return
+		}
+		base := mem.VAddr(done%window*pages) * mem.PageSize
+		e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size})
+		e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size})
+	}
+	e.QPB.OnRecv = func(rc.RecvCompletion) {
+		base := mem.PageNum(done % window * pages)
+		e.ASB.DiscardPages(base, pages)
+		done++
+		runTrial()
+	}
+	runTrial()
+	e.Eng.Run()
+	return e.Tracer
+}
+
+// runBackup drives TCP traffic into a cold 16-entry server ring under the
+// backup-ring policy: faulting packets are parked and replayed, so the
+// trace shows rx-backup roots with long "parked" stages alongside the TCP
+// sender's retransmission episodes.
+func runBackup(seed int64) *trace.Tracer {
+	e := bench.NewEthEnv(bench.EthOpts{Seed: seed, Policy: nic.PolicyBackup, RingSize: 16, Trace: true})
+	store := apps.NewKVStore(e.Server.AS, 0)
+	apps.NewKVServer(e.Server.Stack, store, 50*sim.Microsecond)
+	slap := apps.NewMemaslap(e.Client.Stack, apps.MemaslapConfig{
+		Conns: 4, GetRatio: 0.9, ValueSize: 1024, Keys: 200,
+		KeyPrefix: "k", Prepopulate: true,
+	}, sim.Second)
+	slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
+	e.Eng.RunUntil(2 * sim.Second)
+	return e.Tracer
+}

@@ -16,7 +16,31 @@ import (
 	"npf/internal/rc"
 	"npf/internal/sim"
 	"npf/internal/tcp"
+	"npf/internal/trace"
 )
+
+// MaxEngineEvents bounds every experiment engine: the heaviest shipped
+// experiments execute a few tens of millions of events, so a runaway
+// scenario (a stuck retransmission loop, an event chain that never
+// converges) trips the engine's diagnostic panic instead of hanging CI.
+const MaxEngineEvents = 2_000_000_000
+
+// TraceFactory, when non-nil, is called for every engine the env
+// constructors build and its tracer is wired through the whole stack
+// (drivers, machines, devices/HCAs). cmd/npfbench sets this for -trace so
+// experiments whose envs are built deep inside Run functions get traced;
+// direct env users pass EthOpts.Trace/IBOpts.Trace instead.
+var TraceFactory func(*sim.Engine) *trace.Tracer
+
+func newEnvEngine(seed int64) (*sim.Engine, *trace.Tracer) {
+	eng := sim.NewEngine(seed)
+	eng.MaxEvents = MaxEngineEvents
+	var tr *trace.Tracer
+	if TraceFactory != nil {
+		tr = TraceFactory(eng)
+	}
+	return eng, tr
+}
 
 // EthHost bundles one Ethernet endpoint: device, channel, stack, driver.
 type EthHost struct {
@@ -36,6 +60,9 @@ type EthEnv struct {
 	Drv     *core.Driver
 	Server  *EthHost
 	Client  *EthHost
+	// Tracer is non-nil when the env was built with EthOpts.Trace or a
+	// TraceFactory.
+	Tracer *trace.Tracer
 }
 
 // EthOpts configures the testbed.
@@ -47,6 +74,7 @@ type EthOpts struct {
 	ServerCgroup *mem.Group
 	PrefaultRing bool
 	Jitter       bool
+	Trace        bool // attach a trace.Tracer even without a TraceFactory
 }
 
 // NewEthEnv builds the testbed. The client is always statically pinned
@@ -58,14 +86,19 @@ func NewEthEnv(o EthOpts) *EthEnv {
 	if o.RingSize == 0 {
 		o.RingSize = 64
 	}
-	eng := sim.NewEngine(o.Seed + 1)
+	eng, tr := newEnvEngine(o.Seed + 1)
+	if o.Trace && tr == nil {
+		tr = trace.New(eng)
+	}
 	net := fabric.New(eng, fabric.DefaultEthernet())
 	m := mem.NewMachine(eng, o.ServerRAM)
+	m.SetTracer(tr)
 	cm := mem.NewMachine(eng, 8<<30)
 	dcfg := core.DefaultConfig()
 	dcfg.PrefaultRing = o.PrefaultRing
 	drv := core.NewDriver(eng, dcfg)
-	e := &EthEnv{Eng: eng, Net: net, M: m, ClientM: cm, Drv: drv}
+	drv.SetTracer(tr)
+	e := &EthEnv{Eng: eng, Net: net, M: m, ClientM: cm, Drv: drv, Tracer: tr}
 	e.Server = e.newHost(m, "server", o.Policy, o.RingSize, o.ServerCgroup, o.Jitter)
 	e.Client = e.newHost(cm, "client", nic.PolicyPinned, 256, nil, o.Jitter)
 	return e
@@ -113,6 +146,11 @@ func (e *EthEnv) newHost(m *mem.Machine, name string, policy nic.FaultPolicy, ri
 		dcfg.FirmwareJitterSigma = 0
 	}
 	dev := nic.NewDevice(e.Eng, e.Net, dcfg)
+	// The server device is the traced one; stacks inherit the tracer from
+	// their device at construction, so set it before tcp.NewStack below.
+	if name == "server" {
+		dev.SetTracer(e.Tracer)
+	}
 	e.Drv.AttachDevice(dev)
 	h := &EthHost{Dev: dev}
 	h.AS = m.NewAddressSpace(name, cgroup)
@@ -161,6 +199,9 @@ type IBEnv struct {
 	HCAA, HCAB *rc.HCA
 	ASA, ASB   *mem.AddressSpace
 	QPA, QPB   *rc.QP
+	// Tracer is non-nil when the env was built with IBOpts.Trace or a
+	// TraceFactory.
+	Tracer *trace.Tracer
 }
 
 // IBOpts configures the IB testbed.
@@ -169,12 +210,16 @@ type IBOpts struct {
 	Jitter bool
 	MTU    int
 	Tweak  func(*rc.Config)
+	Trace  bool // attach a trace.Tracer even without a TraceFactory
 }
 
 // NewIBEnv builds a two-node IB testbed with a connected, ODP-enabled QP
 // pair.
 func NewIBEnv(o IBOpts) *IBEnv {
-	eng := sim.NewEngine(o.Seed + 1)
+	eng, tr := newEnvEngine(o.Seed + 1)
+	if o.Trace && tr == nil {
+		tr = trace.New(eng)
+	}
 	net := fabric.New(eng, fabric.DefaultInfiniBand())
 	cfg := rc.DefaultConfig()
 	if !o.Jitter {
@@ -186,10 +231,16 @@ func NewIBEnv(o IBOpts) *IBEnv {
 	if o.Tweak != nil {
 		o.Tweak(&cfg)
 	}
-	e := &IBEnv{Eng: eng, Net: net}
+	e := &IBEnv{Eng: eng, Net: net, Tracer: tr}
 	e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(eng, 128<<30)
+	e.MA.SetTracer(tr)
+	e.MB.SetTracer(tr)
 	e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(eng, core.DefaultConfig())
+	e.DrvA.SetTracer(tr)
+	e.DrvB.SetTracer(tr)
 	e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(eng, net, cfg)
+	e.HCAA.SetTracer(tr)
+	e.HCAB.SetTracer(tr)
 	e.DrvA.AttachHCA(e.HCAA)
 	e.DrvB.AttachHCA(e.HCAB)
 	e.ASA = e.MA.NewAddressSpace("a", nil)

@@ -59,7 +59,9 @@ func (st *chanState) pump() {
 		// Copying the parked packet into the IOuser buffer is CPU work.
 		copyCost = sim.Time(int64(e.Packet.Size) * int64(sim.Second) / st.d.Cfg.MemcpyBps)
 	}
-	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost,
+	// The packet stops being "parked" once T starts serving it.
+	st.d.tr.End(e.Parked)
+	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost, e.Span,
 		func() {
 			if e.Packet != nil {
 				// The OS may have reclaimed the buffer again while T

@@ -28,6 +28,7 @@ import (
 	"npf/internal/nic"
 	"npf/internal/rc"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // Config holds driver-side cost parameters and policy knobs.
@@ -106,6 +107,40 @@ type Driver struct {
 	RxReports sim.Counter
 	Hist      Breakdown
 	Inv       InvalidationStats
+
+	// Telemetry (nil-safe: a nil tracer and nil handles disable everything).
+	tr         *trace.Tracer
+	cNPF       *trace.Counter
+	cMajor     *trace.Counter
+	cRxReports *trace.Counter
+	cOOM       *trace.Counter
+	cInvFast   *trace.Counter
+	cInvMapped *trace.Counter
+	lTrigger   *trace.LatencyHist
+	lDriver    *trace.LatencyHist
+	lUpdate    *trace.LatencyHist
+	lResume    *trace.LatencyHist
+	lTotal     *trace.LatencyHist
+	lInv       *trace.LatencyHist
+}
+
+// SetTracer wires telemetry into the driver: per-stage NPF latency
+// distributions (the Figure 3a components), fault/invalidation counters,
+// and lifecycle spans recorded by serveFault. Safe to call with nil.
+func (d *Driver) SetTracer(tr *trace.Tracer) {
+	d.tr = tr
+	d.cNPF = tr.Counter("core.npfs")
+	d.cMajor = tr.Counter("core.major_npfs")
+	d.cRxReports = tr.Counter("core.rx_reports")
+	d.cOOM = tr.Counter("core.oom_backoffs")
+	d.cInvFast = tr.Counter("core.inv_fastpath")
+	d.cInvMapped = tr.Counter("core.inv_mapped")
+	d.lTrigger = tr.Latency("core.npf_trigger_us")
+	d.lDriver = tr.Latency("core.npf_driver_us")
+	d.lUpdate = tr.Latency("core.npf_update_us")
+	d.lResume = tr.Latency("core.npf_resume_us")
+	d.lTotal = tr.Latency("core.npf_total_us")
+	d.lInv = tr.Latency("core.inv_mapped_us")
 }
 
 // NewDriver creates a driver.
@@ -152,25 +187,36 @@ func (d *Driver) registerNotifier(as *mem.AddressSpace, dom *iommu.Domain) {
 		if removed == 0 {
 			// Lazily mapped pages are often absent (Figure 3b fast path).
 			d.Inv.FastPath.Inc()
+			d.cInvFast.Inc()
 			return cost
 		}
 		d.Inv.Mapped.Inc()
+		d.cInvMapped.Inc()
 		cost += unmapCost + d.Cfg.UpdateCost
 		d.Inv.Total.AddTime(cost)
+		d.lInv.Observe(cost)
+		if d.tr.Enabled() {
+			now := d.Eng.Now()
+			id := d.tr.Span(0, "inv", "invalidate", now, now+cost)
+			d.tr.ArgInt(id, "first", int64(first))
+			d.tr.ArgInt(id, "count", int64(count))
+			d.tr.ArgInt(id, "removed", int64(removed))
+		}
 		return cost
 	}))
 }
 
 // faultPrep performs Figure 2 step 3: the OS faults the missing pages in
 // (batched) and resolves their physical addresses. It mutates OS memory
-// state immediately and returns the software cost; the device-visible IOMMU
-// update is a separate commit phase (faultCommit) that callers schedule
-// after the software cost has elapsed — the device must not see the new
-// translations before the driver has actually produced them.
-func (d *Driver) faultPrep(as *mem.AddressSpace, pages []mem.PageNum, write bool) (swCost sim.Time, major bool, err error) {
+// state immediately and returns the software cost (osCost is the OS
+// fault-in portion of it, separated for telemetry); the device-visible
+// IOMMU update is a separate commit phase (faultCommit) that callers
+// schedule after the software cost has elapsed — the device must not see
+// the new translations before the driver has actually produced them.
+func (d *Driver) faultPrep(as *mem.AddressSpace, pages []mem.PageNum, write bool) (swCost, osCost sim.Time, major bool, err error) {
 	swCost = d.Cfg.DispatchCost + sim.Time(len(pages))*d.Cfg.PerPageLookup
 	if len(pages) == 0 {
-		return swCost, false, nil
+		return swCost, 0, false, nil
 	}
 	sorted := append([]mem.PageNum(nil), pages...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -182,19 +228,22 @@ func (d *Driver) faultPrep(as *mem.AddressSpace, pages []mem.PageNum, write bool
 		}
 		res, ferr := as.FaultInRange(sorted[i-run], run, write)
 		if ferr != nil {
-			return swCost, major, ferr
+			return swCost, osCost, major, ferr
 		}
 		swCost += res.Cost
+		osCost += res.Cost
 		if res.Major > 0 {
 			major = true
 		}
 		run = 1
 	}
 	d.NPFs.Inc()
+	d.cNPF.Inc()
 	if major {
 		d.MajorNPFs.Inc()
+		d.cMajor.Inc()
 	}
-	return swCost, major, nil
+	return swCost, osCost, major, nil
 }
 
 // faultCommit performs Figure 2 step 4: batch-install the translations.
@@ -212,11 +261,23 @@ func (d *Driver) faultCommit(as *mem.AddressSpace, dom *iommu.Domain, pages []me
 
 // serveFault runs the full Figure 2 NPF flow for one fault event and calls
 // done once the device may resume. extraCost is added to the software phase
-// (e.g. the backup resolver's packet copy).
+// (e.g. the backup resolver's packet copy). parent is the device-opened
+// lifecycle span for this fault (0 when the device predates tracing or
+// tracing is off); the driver hangs the driver/update/resume stage spans
+// off it and closes it when the device resumes.
 func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem.PageNum,
-	write bool, start sim.Time, resumeCost, extraCost sim.Time, done func(), retry func()) {
-	trigger := d.Eng.Now() - start
-	sw, _, err := d.faultPrep(as, pages, write)
+	write bool, start sim.Time, resumeCost, extraCost sim.Time, parent trace.SpanID,
+	done func(), retry func()) {
+	now := d.Eng.Now()
+	trigger := now - start
+	root := parent
+	if d.tr.Enabled() && root == 0 {
+		// No device-side span: synthesize the root and its firmware stage
+		// from the fault-report delay so the tree is complete anyway.
+		root = d.tr.BeginAt(0, "npf", "npf", start)
+		d.tr.Span(root, "npf.stage", "firmware", start, now)
+	}
+	sw, osCost, major, err := d.faultPrep(as, pages, write)
 	sw += extraCost
 	if err != nil {
 		if !errors.Is(err, mem.ErrOutOfMemory) {
@@ -226,12 +287,40 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		}
 		// OOM even after reclaim: back off and retry; the device keeps the
 		// operation suspended/parked meanwhile.
+		d.cOOM.Inc()
+		d.tr.Span(root, "npf.stage", "oom-backoff", now, now+sw+100*sim.Microsecond)
 		d.Eng.After(sw+100*sim.Microsecond, retry)
 		return
+	}
+	if d.tr.Enabled() {
+		drv := d.tr.Span(root, "npf.stage", "driver", now, now+sw)
+		d.tr.ArgInt(drv, "pages", int64(len(pages)))
+		if osCost > 0 {
+			pr := d.tr.Span(drv, "npf.stage", "page-resolve", now+sw-extraCost-osCost, now+sw-extraCost)
+			if major {
+				d.tr.ArgStr(pr, "kind", "major")
+			} else {
+				d.tr.ArgStr(pr, "kind", "minor")
+			}
+		}
+		if extraCost > 0 {
+			d.tr.Span(drv, "npf.stage", "copy", now+sw-extraCost, now+sw)
+		}
 	}
 	d.Eng.After(sw, func() {
 		hw := d.faultCommit(as, dom, pages, write)
 		d.Hist.record(trigger, sw, hw, resumeCost)
+		d.lTrigger.Observe(trigger)
+		d.lDriver.Observe(sw)
+		d.lUpdate.Observe(hw)
+		d.lResume.Observe(resumeCost)
+		d.lTotal.Observe(trigger + sw + hw + resumeCost)
+		if d.tr.Enabled() {
+			n2 := d.Eng.Now()
+			d.tr.Span(root, "npf.stage", "update", n2, n2+hw)
+			d.tr.Span(root, "npf.stage", "resume", n2+hw, n2+hw+resumeCost)
+			d.tr.EndAt(root, n2+hw+resumeCost)
+		}
 		d.Eng.After(hw, done)
 	})
 }
@@ -246,7 +335,7 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 func (d *Driver) HandleQPFault(ev rc.QPFault) {
 	write := ev.Class == rc.FaultRecvRNPF || ev.Class == rc.FaultReadInitiator
 	d.serveFault(ev.QP.AS, ev.QP.Domain, ev.Missing, write, ev.Start,
-		ev.QP.HCA().Cfg.FirmwareResume, 0,
+		ev.QP.HCA().Cfg.FirmwareResume, 0, ev.Span,
 		ev.Resolved,
 		func() { d.HandleQPFault(ev) })
 }
@@ -257,7 +346,7 @@ func (d *Driver) HandleQPFault(ev rc.QPFault) {
 // HandleTxNPF implements nic.NPFSink for send-side faults.
 func (d *Driver) HandleTxNPF(ev nic.TxNPF) {
 	d.serveFault(ev.Channel.AS, ev.Channel.Domain, ev.Missing, false, ev.Start,
-		ev.Channel.Dev.Cfg.FirmwareResume, 0,
+		ev.Channel.Dev.Cfg.FirmwareResume, 0, ev.Span,
 		ev.Resume,
 		func() { d.HandleTxNPF(ev) })
 }
@@ -266,6 +355,7 @@ func (d *Driver) HandleTxNPF(ev nic.TxNPF) {
 // demand-paging reports and backup-ring entries, demuxed per channel.
 func (d *Driver) HandleRxNPF(entries []nic.RxNPFEntry) {
 	d.RxReports.Add(uint64(len(entries)))
+	d.cRxReports.Add(uint64(len(entries)))
 	for _, e := range entries {
 		st, ok := d.chans[e.Channel]
 		if !ok {

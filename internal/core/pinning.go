@@ -6,6 +6,7 @@ import (
 	"npf/internal/iommu"
 	"npf/internal/mem"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // This file implements the three zero-copy pinning strategies of §2.2 that
@@ -68,6 +69,21 @@ type PinDownCache struct {
 	Evictions sim.Counter
 	// LookupCost models the cache's own bookkeeping per operation.
 	LookupCost sim.Time
+
+	tr     *trace.Tracer
+	cHits  *trace.Counter
+	cMiss  *trace.Counter
+	cEvict *trace.Counter
+}
+
+// SetTracer mirrors the cache's hit/miss/eviction counters into the metrics
+// registry and records a "pin" span per miss (the synchronous registration
+// work an operation stalls on).
+func (c *PinDownCache) SetTracer(tr *trace.Tracer) {
+	c.tr = tr
+	c.cHits = tr.Counter("pin.cache_hits")
+	c.cMiss = tr.Counter("pin.cache_misses")
+	c.cEvict = tr.Counter("pin.cache_evictions")
 }
 
 // NewPinDownCache creates a cache bounding pinned memory to capacity bytes.
@@ -101,9 +117,11 @@ func (c *PinDownCache) Acquire(addr mem.VAddr, length int) (sim.Time, error) {
 	}
 	if len(toPin) == 0 {
 		c.Hits.Inc()
+		c.cHits.Inc()
 		return cost, nil
 	}
 	c.Misses.Inc()
+	c.cMiss.Inc()
 	// Make room first, evicting as one batch (one invalidation sync, the
 	// way real registration caches deregister whole regions).
 	var victims []mem.PageNum
@@ -116,6 +134,7 @@ func (c *PinDownCache) Acquire(addr mem.VAddr, length int) (sim.Time, error) {
 		c.lru.Remove(front)
 		delete(c.pages, pn)
 		c.Evictions.Inc()
+		c.cEvict.Inc()
 		cost += c.AS.Unpin(pn, 1)
 		victims = append(victims, pn)
 	}
@@ -132,6 +151,12 @@ func (c *PinDownCache) Acquire(addr mem.VAddr, length int) (sim.Time, error) {
 		c.pages[pn] = c.lru.PushBack(pn)
 	}
 	cost += c.Dom.MapBatch(toPin)
+	if c.tr.Enabled() {
+		now := c.tr.Now()
+		id := c.tr.Span(0, "pin", "acquire", now, now+cost)
+		c.tr.ArgInt(id, "pages", int64(len(toPin)))
+		c.tr.ArgInt(id, "evicted", int64(len(victims)))
+	}
 	return cost, nil
 }
 
@@ -144,6 +169,7 @@ func (c *PinDownCache) evictOne() (sim.Time, bool) {
 	c.lru.Remove(front)
 	delete(c.pages, pn)
 	c.Evictions.Inc()
+	c.cEvict.Inc()
 	cost := c.AS.Unpin(pn, 1)
 	uc, _ := c.Dom.Unmap(pn, 1)
 	return cost + uc, true

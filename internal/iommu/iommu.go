@@ -16,6 +16,7 @@ import (
 
 	"npf/internal/mem"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // DomainID identifies a translation domain (one per IOchannel).
@@ -62,6 +63,29 @@ type Unit struct {
 
 	// Faults counts translation misses observed by devices.
 	Faults sim.Counter
+
+	// Metric handles (nil = disabled; nil handles are inert).
+	cHits       *trace.Counter
+	cMisses     *trace.Counter
+	cWalks      *trace.Counter
+	cFaults     *trace.Counter
+	cMapPages   *trace.Counter
+	cUnmapPages *trace.Counter
+	cMapBatch   *trace.Counter
+	cInvBatch   *trace.Counter
+}
+
+// SetTracer mirrors the unit's IOTLB/walk/map/invalidate activity into the
+// metrics registry. Safe to call with nil.
+func (u *Unit) SetTracer(tr *trace.Tracer) {
+	u.cHits = tr.Counter("iommu.iotlb_hits")
+	u.cMisses = tr.Counter("iommu.iotlb_misses")
+	u.cWalks = tr.Counter("iommu.walks")
+	u.cFaults = tr.Counter("iommu.faults")
+	u.cMapPages = tr.Counter("iommu.map_pages")
+	u.cUnmapPages = tr.Counter("iommu.unmap_pages")
+	u.cMapBatch = tr.Counter("iommu.map_batches")
+	u.cInvBatch = tr.Counter("iommu.inv_batches")
 }
 
 // New returns a Unit with default costs and an IOTLB of the given capacity
@@ -116,6 +140,7 @@ func (d *Domain) Map(first mem.PageNum, count int) sim.Time {
 		return 0
 	}
 	cost := d.unit.Costs.MapSync
+	d.unit.cMapBatch.Inc()
 	for i := 0; i < count; i++ {
 		cost += d.mapOne(first+mem.PageNum(i), true)
 	}
@@ -124,6 +149,7 @@ func (d *Domain) Map(first mem.PageNum, count int) sim.Time {
 
 // mapOne installs or upgrades one PTE, returning the per-page increment.
 func (d *Domain) mapOne(pn mem.PageNum, writable bool) sim.Time {
+	d.unit.cMapPages.Inc()
 	w, ok := d.present[pn]
 	if !ok {
 		d.present[pn] = writable
@@ -154,6 +180,7 @@ func (d *Domain) MapBatchPerm(pages []mem.PageNum, writable bool) sim.Time {
 		return 0
 	}
 	cost := d.unit.Costs.MapSync
+	d.unit.cMapBatch.Inc()
 	for _, pn := range pages {
 		cost += d.mapOne(pn, writable)
 	}
@@ -180,6 +207,8 @@ func (d *Domain) Unmap(first mem.PageNum, count int) (sim.Time, int) {
 	if removed == 0 {
 		return 0, 0
 	}
+	d.unit.cUnmapPages.Add(uint64(removed))
+	d.unit.cInvBatch.Inc()
 	cost := d.unit.Costs.InvalidateSync + sim.Time(removed)*d.unit.Costs.InvalidatePerPage
 	return cost, removed
 }
@@ -201,6 +230,8 @@ func (d *Domain) UnmapBatch(pages []mem.PageNum) (sim.Time, int) {
 	if removed == 0 {
 		return 0, 0
 	}
+	d.unit.cUnmapPages.Add(uint64(removed))
+	d.unit.cInvBatch.Inc()
 	return d.unit.Costs.InvalidateSync + sim.Time(removed)*d.unit.Costs.InvalidatePerPage, removed
 }
 
@@ -233,20 +264,26 @@ func (d *Domain) TranslateAccess(addr mem.VAddr, length int, write bool) (cost s
 				// IOTLB hit: translation cached with sufficient permission,
 				// and cached entries are always valid (invalidated on unmap
 				// and on permission upgrades).
+				d.unit.cHits.Inc()
 				continue
 			}
+			d.unit.cMisses.Inc()
+			d.unit.cWalks.Inc()
 			cost += walk
 			if w, ok := d.present[pn]; ok && (!write || w) {
 				d.unit.iotlb.insert(d.ID, pn, w)
 			} else {
 				d.unit.Faults.Inc()
+				d.unit.cFaults.Inc()
 				missing = append(missing, pn)
 			}
 			continue
 		}
 		cost += walk
+		d.unit.cWalks.Inc()
 		if w, ok := d.present[pn]; !ok || (write && !w) {
 			d.unit.Faults.Inc()
+			d.unit.cFaults.Inc()
 			missing = append(missing, pn)
 		}
 	}

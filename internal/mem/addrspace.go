@@ -261,14 +261,17 @@ func (as *AddressSpace) faultIn(p *pte) (cost sim.Time, major bool, err error) {
 		p.inSwap = false
 		major = true
 		as.MajorFaults.Inc()
+		as.m.cMajor.Inc()
 	} else {
 		as.MinorFaults.Inc()
+		as.m.cMinor.Inc()
 	}
 	if p.cowCopy {
 		// Materialising a forked page copies it from the parent.
 		cost += CowCopyCost
 		p.cowCopy = false
 	}
+	as.m.lFault.Observe(cost)
 	p.present = true
 	p.access = as.m.Eng.Now()
 	p.lruElem = as.lru.PushBack(p)
@@ -387,6 +390,7 @@ func (as *AddressSpace) evictOldest() (int64, sim.Time, bool) {
 		p.dirty = false
 	}
 	as.Evicted.Inc()
+	as.m.cEvict.Inc()
 	return PageSize, cost, true
 }
 
@@ -395,6 +399,7 @@ func (as *AddressSpace) evictOldest() (int64, sim.Time, bool) {
 // IOVA), then the frame is freed.
 func (as *AddressSpace) invalidate(p *pte) sim.Time {
 	var cost sim.Time
+	as.m.cInval.Inc()
 	for _, n := range as.notifiers {
 		cost += n.InvalidatePages(p.pn, 1)
 	}

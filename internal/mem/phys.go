@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // ErrOutOfMemory is returned when an allocation cannot be satisfied even
@@ -141,6 +142,23 @@ type Machine struct {
 	RAM   *Group
 	Swap  *SwapDevice
 	Costs Costs
+
+	// Metric handles (nil = disabled; nil handles are inert).
+	cMinor *trace.Counter
+	cMajor *trace.Counter
+	cEvict *trace.Counter
+	cInval *trace.Counter
+	lFault *trace.LatencyHist
+}
+
+// SetTracer mirrors machine-wide paging activity (across every address
+// space on the machine) into the metrics registry. Safe to call with nil.
+func (m *Machine) SetTracer(tr *trace.Tracer) {
+	m.cMinor = tr.Counter("mem.minor_faults")
+	m.cMajor = tr.Counter("mem.major_faults")
+	m.cEvict = tr.Counter("mem.evictions")
+	m.cInval = tr.Counter("mem.invalidations")
+	m.lFault = tr.Latency("mem.fault_us")
 }
 
 // NewMachine returns a machine with ramBytes of physical memory and a

@@ -17,6 +17,7 @@ import (
 	"npf/internal/iommu"
 	"npf/internal/mem"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // FaultPolicy selects how the RX engine handles receive NPFs, matching the
@@ -81,6 +82,12 @@ type RxNPFEntry struct {
 	Missing  []mem.PageNum
 	Packet   *fabric.Packet // nil under PolicyDrop
 	Start    sim.Time       // when the device hit the fault
+	// Span is the NPF lifecycle span the device opened for this fault, and
+	// Parked the backup-ring residency child span; both 0 when tracing is
+	// off. The hardware tags its fault report with the span the way real
+	// firmware tags it with a fault token the driver echoes back.
+	Span   trace.SpanID
+	Parked trace.SpanID
 }
 
 // TxNPF describes a send-side fault: the TX queue is suspended until the
@@ -90,6 +97,8 @@ type TxNPF struct {
 	Missing []mem.PageNum
 	Resume  func()
 	Start   sim.Time // when the device hit the fault
+	// Span is the NPF lifecycle span opened by the device (0 = tracing off).
+	Span trace.SpanID
 }
 
 // NPFSink is the driver (IOprovider) interface for fault events. Both
@@ -149,6 +158,9 @@ type Device struct {
 	Backup   *BackupRing
 	sink     NPFSink
 
+	// Tracer records NPF lifecycle spans; nil disables tracing.
+	Tracer *trace.Tracer
+
 	// Counters.
 	RxDelivered      sim.Counter
 	RxToBackup       sim.Counter
@@ -178,6 +190,14 @@ func NewDevice(eng *sim.Engine, net *fabric.Network, cfg Config) *Device {
 // SetNPFSink installs the driver-side fault handler. Required before any
 // channel uses PolicyDrop or PolicyBackup.
 func (d *Device) SetNPFSink(s NPFSink) { d.sink = s }
+
+// SetTracer wires telemetry into the device and its on-NIC IOMMU. The
+// device opens the root span of each NPF at fault-detection time and
+// threads it to the driver through the fault event. Safe to call with nil.
+func (d *Device) SetTracer(tr *trace.Tracer) {
+	d.Tracer = tr
+	d.MMU.SetTracer(tr)
+}
 
 // firmwareFaultLatency samples the firmware fault-path latency, with the
 // long-tailed jitter that produces Table 4.

@@ -166,7 +166,15 @@ func (r *RxRing) recv(pkt *fabric.Packet) {
 			r.inflight[idx] = true
 			entry := RxNPFEntry{Channel: r.ch, Index: idx, Missing: missing, Start: dev.Eng.Now()}
 			// The drop path goes through the slow firmware error path.
-			dev.Eng.After(dev.firmwareFaultLatency()+dev.Cfg.IntLatency, func() {
+			lat := dev.firmwareFaultLatency() + dev.Cfg.IntLatency
+			if dev.Tracer.Enabled() {
+				now := dev.Eng.Now()
+				entry.Span = dev.Tracer.BeginAt(0, "npf", "rx-drop", now)
+				dev.Tracer.ArgInt(entry.Span, "idx", idx)
+				dev.Tracer.ArgInt(entry.Span, "pages", int64(len(missing)))
+				dev.Tracer.Span(entry.Span, "npf.stage", "firmware", now, now+lat)
+			}
+			dev.Eng.After(lat, func() {
 				dev.sink.HandleRxNPF([]RxNPFEntry{entry})
 			})
 			return
@@ -196,14 +204,29 @@ func (r *RxRing) parkInBackup(pkt *fabric.Packet, idx int64, missing []mem.PageN
 	r.bitmap[bitIndex%int64(r.bmSize)] = true
 	r.headOffset++
 	dev.RxToBackup.Inc()
-	dev.Backup.store(RxNPFEntry{
+	e := RxNPFEntry{
 		Channel:  r.ch,
 		Index:    idx,
 		BitIndex: bitIndex,
 		Missing:  missing,
 		Packet:   pkt,
 		Start:    dev.Eng.Now(),
-	})
+	}
+	if dev.Tracer.Enabled() {
+		name := "rx-backup"
+		if missing == nil {
+			name = "rx-ringfull" // parked for ring room, not for paging
+		}
+		now := dev.Eng.Now()
+		e.Span = dev.Tracer.BeginAt(0, "npf", name, now)
+		dev.Tracer.ArgInt(e.Span, "idx", idx)
+		dev.Tracer.ArgInt(e.Span, "pages", int64(len(missing)))
+		// The backup path is an ordinary receive flow: the "firmware" stage
+		// is just the coalesced backup interrupt.
+		dev.Tracer.Span(e.Span, "npf.stage", "firmware", now, now+dev.Cfg.IntLatency)
+		e.Parked = dev.Tracer.BeginAt(e.Span, "npf.stage", "parked", now)
+	}
+	dev.Backup.store(e)
 }
 
 // FillResolved is called by the driver after it faulted the buffer in and

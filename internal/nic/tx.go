@@ -80,7 +80,14 @@ func (q *TxQueue) kick() {
 			}
 			// Firmware detects the fault and raises the NPF interrupt
 			// (components i–ii).
-			dev.Eng.After(dev.firmwareFaultLatency()+dev.Cfg.IntLatency, func() {
+			lat := dev.firmwareFaultLatency() + dev.Cfg.IntLatency
+			if dev.Tracer.Enabled() {
+				now := dev.Eng.Now()
+				ev.Span = dev.Tracer.BeginAt(0, "npf", "tx", now)
+				dev.Tracer.ArgInt(ev.Span, "pages", int64(len(missing)))
+				dev.Tracer.Span(ev.Span, "npf.stage", "firmware", now, now+lat)
+			}
+			dev.Eng.After(lat, func() {
 				dev.sink.HandleTxNPF(ev)
 			})
 			return

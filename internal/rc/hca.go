@@ -19,6 +19,7 @@ import (
 	"npf/internal/iommu"
 	"npf/internal/mem"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // FaultClass says which of the four per-QP fault paths fired (§4 limits
@@ -62,6 +63,9 @@ type QPFault struct {
 	Class   FaultClass
 	Missing []mem.PageNum
 	Start   sim.Time // when the device hit the fault
+	// Span is the NPF lifecycle span the adapter opened for this fault
+	// (0 = tracing off) — the firmware's fault token, echoed by the driver.
+	Span trace.SpanID
 	// Resolved must be called by the driver once the pages are resident
 	// and mapped in the QP's IOMMU domain; it triggers the firmware-resume
 	// path.
@@ -164,6 +168,12 @@ type HCA struct {
 	nextQP QPN
 	sink   FaultSink
 
+	// Tracer records NPF/RNR lifecycle spans; nil disables tracing.
+	Tracer *trace.Tracer
+	cRNR   *trace.Counter
+	cRetx  *trace.Counter
+	cRwnd  *trace.Counter
+
 	// Counters.
 	PacketsSent  sim.Counter
 	PacketsRecv  sim.Counter
@@ -194,6 +204,16 @@ func NewHCA(eng *sim.Engine, net *fabric.Network, cfg Config) *HCA {
 // SetFaultSink installs the driver's NPF handler.
 func (h *HCA) SetFaultSink(s FaultSink) { h.sink = s }
 
+// SetTracer wires telemetry into the adapter and its on-NIC IOMMU. Safe to
+// call with nil.
+func (h *HCA) SetTracer(tr *trace.Tracer) {
+	h.Tracer = tr
+	h.MMU.SetTracer(tr)
+	h.cRNR = tr.Counter("rc.rnr_nacks")
+	h.cRetx = tr.Counter("rc.retransmits")
+	h.cRwnd = tr.Counter("rc.read_rewinds")
+}
+
 func (h *HCA) firmwareFaultLatency() sim.Time {
 	base := h.Cfg.FirmwareFault
 	if h.Cfg.FirmwareJitterSigma <= 0 {
@@ -213,7 +233,15 @@ func (h *HCA) raiseFault(ev QPFault) {
 	if h.sink == nil {
 		panic("rc: NPF with no fault sink attached (ODP used without a driver)")
 	}
-	h.Eng.After(h.firmwareFaultLatency()+h.Cfg.IntLatency, func() {
+	lat := h.firmwareFaultLatency() + h.Cfg.IntLatency
+	if h.Tracer.Enabled() {
+		now := h.Eng.Now()
+		ev.Span = h.Tracer.BeginAt(0, "npf", ev.Class.String(), now)
+		h.Tracer.ArgInt(ev.Span, "qpn", int64(ev.QP.QPN))
+		h.Tracer.ArgInt(ev.Span, "pages", int64(len(ev.Missing)))
+		h.Tracer.Span(ev.Span, "npf.stage", "firmware", now, now+lat)
+	}
+	h.Eng.After(lat, func() {
 		h.sink.HandleQPFault(ev)
 	})
 }

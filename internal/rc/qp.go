@@ -6,6 +6,7 @@ import (
 	"npf/internal/iommu"
 	"npf/internal/mem"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // SendWQE is a send or RDMA-write work request.
@@ -95,6 +96,9 @@ type readState struct {
 	placedOff  int
 	faulted    bool
 	uncredited int // chunks placed since the last credit grant
+	// dropSpan covers the window in which incoming response packets are
+	// dropped because the initiator faulted (§4's rewind case).
+	dropSpan trace.SpanID
 }
 
 // respStream is the responder's view: it streams read-response chunks
@@ -109,6 +113,8 @@ type respStream struct {
 	paused  bool
 	credits int
 	pumping bool // a paced emission event is scheduled
+	// pauseSpan covers a ReadRNR-extension suspension window.
+	pauseSpan trace.SpanID
 }
 
 // NewQP allocates a queue pair on h bound to address space as, with its own
@@ -271,6 +277,7 @@ func (qp *QP) armRetxTimer() {
 		qp.retxArmed = false
 		if qp.inflight() > 0 && qp.sndUna == snapshot && !qp.rnrWait && !qp.sendPaused {
 			qp.hca.Retransmits.Inc()
+			qp.hca.cRetx.Inc()
 			qp.sndNxt = qp.sndUna
 			qp.sendLoop()
 		} else {
@@ -318,6 +325,13 @@ func (qp *QP) handleRNRNack(psn uint64) {
 		qp.handleAckOnly(psn)
 	}
 	qp.hca.Retransmits.Add(qp.sndNxt - psn)
+	qp.hca.cRetx.Add(qp.sndNxt - psn)
+	if qp.hca.Tracer.Enabled() {
+		now := qp.hca.Eng.Now()
+		id := qp.hca.Tracer.Span(0, "rc", "rnr-wait", now, now+qp.hca.Cfg.RNRTimeout)
+		qp.hca.Tracer.ArgInt(id, "qpn", int64(qp.QPN))
+		qp.hca.Tracer.ArgInt(id, "rewound", int64(qp.sndNxt-psn))
+	}
 	qp.sndNxt = psn
 	qp.rnrWait = true
 	qp.hca.Eng.After(qp.hca.Cfg.RNRTimeout, func() {
@@ -340,6 +354,7 @@ func (qp *QP) handleSeqNack(psn uint64) {
 		psn = qp.sndUna // everything below is already acknowledged
 	}
 	qp.hca.Retransmits.Add(qp.sndNxt - psn)
+	qp.hca.cRetx.Add(qp.sndNxt - psn)
 	qp.sndNxt = psn
 	qp.sendLoop()
 }
@@ -497,6 +512,7 @@ func (qp *QP) sendAck() {
 
 func (qp *QP) sendRNRNack() {
 	qp.hca.RNRNacks.Inc()
+	qp.hca.cRNR.Inc()
 	qp.unacked = 0
 	qp.hca.send(fabricNode(qp.peerNode), &packet{
 		Kind: pktRNRNack, SrcQPN: qp.QPN, DstQPN: qp.peerQPN, AckPSN: qp.expPSN,
@@ -540,6 +556,10 @@ func (qp *QP) handleReadCredit(pkt *packet) {
 func (qp *QP) handleReadRNR(pkt *packet) {
 	if st, ok := qp.respStreams[pkt.ReqID]; ok {
 		st.paused = true
+		if qp.hca.Tracer.Enabled() && st.pauseSpan == 0 {
+			st.pauseSpan = qp.hca.Tracer.Begin(0, "rc", "read-rnr-pause")
+			qp.hca.Tracer.ArgInt(st.pauseSpan, "req", pkt.ReqID)
+		}
 	}
 }
 
@@ -553,6 +573,8 @@ func (qp *QP) handleReadResume(pkt *packet) {
 	st.off = pkt.ReadOff
 	st.paused = false
 	st.credits = qp.hca.Cfg.ReadWindow
+	qp.hca.Tracer.End(st.pauseSpan)
+	st.pauseSpan = 0
 	qp.pumpReadResp(st)
 }
 
@@ -625,6 +647,11 @@ func (qp *QP) handleReadResp(pkt *packet) {
 	if len(missing) > 0 {
 		st.faulted = true
 		qp.hca.DroppedRNPF.Inc()
+		if qp.hca.Tracer.Enabled() {
+			st.dropSpan = qp.hca.Tracer.Begin(0, "rc", "read-drop-window")
+			qp.hca.Tracer.ArgInt(st.dropSpan, "req", pkt.ReqID)
+			qp.hca.Tracer.ArgInt(st.dropSpan, "off", int64(st.placedOff))
+		}
 		resumeOff := st.placedOff
 		ext := qp.hca.Cfg.ReadRNRExtension
 		if ext {
@@ -643,6 +670,8 @@ func (qp *QP) handleReadResp(pkt *packet) {
 			Resolved: func() {
 				qp.hca.Eng.After(qp.hca.Cfg.FirmwareResume, func() {
 					st.faulted = false
+					qp.hca.Tracer.End(st.dropSpan)
+					st.dropSpan = 0
 					if ext {
 						// Resume the suspended stream where we left off.
 						qp.hca.send(fabricNode(qp.peerNode), &packet{
@@ -652,6 +681,7 @@ func (qp *QP) handleReadResp(pkt *packet) {
 						return
 					}
 					qp.hca.ReadRewinds.Inc()
+					qp.hca.cRwnd.Inc()
 					// Baseline RC: no way to stop the responder; rewind by
 					// re-requesting the remainder.
 					qp.hca.send(fabricNode(qp.peerNode), &packet{

@@ -25,6 +25,17 @@ func (h *Histogram) Add(v float64) {
 // AddTime records a virtual-time span as microseconds.
 func (h *Histogram) AddTime(t Time) { h.Add(t.Micros()) }
 
+// Merge folds every sample of other into h. other is unmodified; merging
+// a nil or empty histogram is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || len(other.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, other.samples...)
+	h.sorted = false
+	h.sum += other.sum
+}
+
 // Count reports the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 
@@ -43,13 +54,21 @@ func (h *Histogram) sort() {
 	}
 }
 
-// Percentile reports the p-th percentile (0 <= p <= 100) using
-// nearest-rank, or 0 with no samples.
+// Percentile reports the p-th percentile using nearest-rank, or 0 with no
+// samples. p is clamped to [0, 100]: p <= 0 returns the minimum sample and
+// p >= 100 the maximum, so callers can ask for p0/p100 (or a slightly
+// out-of-range p from float arithmetic) and get the sane boundary answer.
 func (h *Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return 0
 	}
 	h.sort()
+	if p <= 0 || math.IsNaN(p) {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
 	rank := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
 	if rank < 0 {
 		rank = 0

@@ -33,6 +33,84 @@ func TestHistogramEmpty(t *testing.T) {
 	if h.Percentile(50) != 0 || h.Max() != 0 || h.Mean() != 0 {
 		t.Error("empty histogram should report zeros")
 	}
+	if h.Percentile(0) != 0 || h.Percentile(100) != 0 {
+		t.Error("empty histogram boundary percentiles should be 0")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Add(42)
+	for _, p := range []float64{0, 0.1, 50, 99.9, 100} {
+		if got := h.Percentile(p); got != 42 {
+			t.Errorf("p%v = %v, want 42", p, got)
+		}
+	}
+	if h.Min() != 42 || h.Max() != 42 || h.Mean() != 42 {
+		t.Error("single-sample min/max/mean should all be the sample")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 10; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("p0 = %v, want min (1)", got)
+	}
+	if got := h.Percentile(100); got != 10 {
+		t.Errorf("p100 = %v, want max (10)", got)
+	}
+	// Out-of-range p clamps rather than panicking or extrapolating.
+	if got := h.Percentile(-5); got != 1 {
+		t.Errorf("p-5 = %v, want min (1)", got)
+	}
+	if got := h.Percentile(250); got != 10 {
+		t.Errorf("p250 = %v, want max (10)", got)
+	}
+	if got := h.Percentile(math.NaN()); got != 1 {
+		t.Errorf("pNaN = %v, want min (1)", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i))
+	}
+	for i := 6; i <= 10; i++ {
+		b.Add(float64(i))
+	}
+	a.Merge(&b)
+	if a.Count() != 10 {
+		t.Fatalf("merged count = %d, want 10", a.Count())
+	}
+	if a.Mean() != 5.5 {
+		t.Errorf("merged mean = %v, want 5.5", a.Mean())
+	}
+	if a.Min() != 1 || a.Max() != 10 {
+		t.Errorf("merged min/max = %v/%v, want 1/10", a.Min(), a.Max())
+	}
+	if a.Percentile(50) != 5 {
+		t.Errorf("merged p50 = %v, want 5", a.Percentile(50))
+	}
+	// Source must be untouched, and degenerate merges must be no-ops.
+	if b.Count() != 5 || b.Min() != 6 {
+		t.Error("Merge modified its argument")
+	}
+	var empty Histogram
+	a.Merge(&empty)
+	a.Merge(nil)
+	if a.Count() != 10 {
+		t.Errorf("no-op merges changed count to %d", a.Count())
+	}
+	// Merging into an empty histogram copies.
+	var c Histogram
+	c.Merge(&b)
+	if c.Count() != 5 || c.Mean() != 8 {
+		t.Errorf("merge into empty: n=%d mean=%v, want 5/8", c.Count(), c.Mean())
+	}
 }
 
 // Property: percentiles are monotone in p and bounded by [Min, Max].

@@ -3,6 +3,7 @@ package tcp
 import (
 	"npf/internal/fabric"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // Conn is one TCP connection. Applications write framed messages with Send
@@ -47,6 +48,11 @@ type Conn struct {
 	// Receiver state.
 	rcvNxt uint64
 	ooo    map[uint64]*segment
+
+	// retxSpan covers one retransmission episode: opened at the first RTO,
+	// closed when new data is finally acknowledged (or the connection
+	// fails). Under the cold-ring problem these stretch to seconds.
+	retxSpan trace.SpanID
 }
 
 func newConn(s *Stack, id uint64, peerNode fabric.NodeID, peerFlow fabric.FlowID, st ConnState) *Conn {
@@ -114,6 +120,7 @@ func (c *Conn) sendSyn() {
 		}
 		c.synRetries++
 		c.stack.Retransmits.Inc()
+		c.stack.cRetx.Inc()
 		if c.synRetries > c.stack.Cfg.SynMaxRetries {
 			c.fail()
 			return
@@ -136,6 +143,12 @@ func (c *Conn) fail() {
 	c.state = StateFailed
 	c.disarmTimer()
 	c.stack.Failures.Inc()
+	c.stack.cFail.Inc()
+	if c.retxSpan != 0 {
+		c.stack.tr.ArgStr(c.retxSpan, "result", "failed")
+		c.stack.tr.End(c.retxSpan)
+		c.retxSpan = 0
+	}
 	if c.OnFail != nil {
 		c.OnFail(ErrTooManyRetries)
 	}
@@ -213,6 +226,12 @@ func (c *Conn) handleAck(ack uint64) {
 			c.sndNxt = ack
 		}
 		c.dupAcks = 0
+		if c.retxSpan != 0 {
+			// The episode ends when the peer finally acknowledges new data.
+			c.stack.tr.ArgInt(c.retxSpan, "retries", int64(c.retries))
+			c.stack.tr.End(c.retxSpan)
+			c.retxSpan = 0
+		}
 		c.retries = 0
 		for len(c.inflight) > 0 && c.inflight[0].Seq+uint64(c.inflight[0].Len) <= ack {
 			c.inflight = c.inflight[1:]
@@ -242,7 +261,9 @@ func (c *Conn) handleAck(ack uint64) {
 		if c.dupAcks == 3 {
 			// Fast retransmit.
 			c.stack.FastRetx.Inc()
+			c.stack.cFastRetx.Inc()
 			c.stack.Retransmits.Inc()
+			c.stack.cRetx.Inc()
 			c.ssthresh = max(c.inflightBytes()/2, 2*cfg.MSS)
 			c.cwnd = c.ssthresh
 			c.rttValid = false
@@ -300,10 +321,15 @@ func (c *Conn) onRTO() {
 	}
 	cfg := c.stack.Cfg
 	c.stack.Timeouts.Inc()
+	c.stack.cTimeouts.Inc()
 	c.retries++
 	if c.retries > cfg.MaxRetries {
 		c.fail()
 		return
+	}
+	if c.stack.tr.Enabled() && c.retxSpan == 0 {
+		c.retxSpan = c.stack.tr.Begin(0, "tcp", "retx-episode")
+		c.stack.tr.ArgInt(c.retxSpan, "conn", int64(c.id))
 	}
 	// Loss is taken as congestion: collapse the window, go back to the
 	// first unacked segment (go-back-N), and back the timer off.
@@ -316,6 +342,7 @@ func (c *Conn) onRTO() {
 	c.inflight = nil
 	c.sndNxt = c.sndUna
 	c.stack.Retransmits.Inc()
+	c.stack.cRetx.Inc()
 	c.trySend()
 	// trySend arms the timer with the backed-off RTO.
 	if len(c.inflight) > 0 {

@@ -23,6 +23,7 @@ import (
 	"npf/internal/mem"
 	"npf/internal/nic"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // ErrTooManyRetries is reported to the application when the stack gives up
@@ -142,6 +143,14 @@ type Stack struct {
 	Timeouts    sim.Counter
 	FastRetx    sim.Counter
 	Failures    sim.Counter
+
+	// Telemetry, inherited from the channel's device at construction (nil
+	// when the device is untraced).
+	tr        *trace.Tracer
+	cRetx     *trace.Counter
+	cTimeouts *trace.Counter
+	cFastRetx *trace.Counter
+	cFail     *trace.Counter
 }
 
 // NewStack builds a stack over ch and posts the full receive ring. Buffers
@@ -153,6 +162,11 @@ func NewStack(ch *nic.Channel, cfg Config) *Stack {
 		eng:   ch.Dev.Eng,
 		conns: make(map[uint64]*Conn),
 	}
+	s.tr = ch.Dev.Tracer
+	s.cRetx = s.tr.Counter("tcp.retransmits")
+	s.cTimeouts = s.tr.Counter("tcp.timeouts")
+	s.cFastRetx = s.tr.Counter("tcp.fast_retx")
+	s.cFail = s.tr.Counter("tcp.failures")
 	bufBytes := int64(mem.PageSize)
 	ringSize := ch.Rx.Size()
 	s.rxBufBase = ch.AS.MapBytes(int64(ringSize) * bufBytes)

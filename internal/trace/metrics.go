@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"npf/internal/sim"
+)
+
+// Counter is a monotonically increasing metric handle. A nil *Counter (as
+// returned by a disabled tracer) is inert, so call sites resolve handles
+// once at construction time and increment unconditionally.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.n += n
+	}
+}
+
+// Value returns the current count (0 for a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a last-value-wins metric handle.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Value returns the last set value (0 for a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// LatencyHist is a sim.Histogram-backed latency distribution recorded in
+// microseconds.
+type LatencyHist struct {
+	h sim.Histogram
+}
+
+// Observe records one virtual-time span.
+func (l *LatencyHist) Observe(d sim.Time) {
+	if l != nil {
+		l.h.AddTime(d)
+	}
+}
+
+// ObserveVal records one raw sample (already in µs).
+func (l *LatencyHist) ObserveVal(v float64) {
+	if l != nil {
+		l.h.Add(v)
+	}
+}
+
+// Hist exposes the underlying histogram (nil-safe: returns an empty one).
+func (l *LatencyHist) Hist() *sim.Histogram {
+	if l == nil {
+		return &sim.Histogram{}
+	}
+	return &l.h
+}
+
+// Counter returns (creating if needed) the counter registered under name.
+// A disabled tracer returns a nil handle, which is safe to use.
+func (t *Tracer) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	c, ok := t.counters[name]
+	if !ok {
+		c = &Counter{}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge registered under name.
+func (t *Tracer) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	g, ok := t.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		t.gauges[name] = g
+	}
+	return g
+}
+
+// Latency returns (creating if needed) the latency distribution registered
+// under name.
+func (t *Tracer) Latency(name string) *LatencyHist {
+	if t == nil {
+		return nil
+	}
+	l, ok := t.lats[name]
+	if !ok {
+		l = &LatencyHist{}
+		t.lats[name] = l
+	}
+	return l
+}
+
+// Count is a convenience for one-off increments where keeping a handle is
+// not worth it (cold paths only: it pays a map lookup when enabled).
+func (t *Tracer) Count(name string, n uint64) {
+	if t == nil {
+		return
+	}
+	t.Counter(name).Add(n)
+}
+
+// MetricsSnapshot renders every registered metric as one line each, sorted
+// by kind then name — byte-reproducible given a seed. Counters that were
+// registered but never incremented still appear (value 0), so two runs of
+// the same scenario list identical metric sets.
+func (t *Tracer) MetricsSnapshot() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, name := range sortedKeys(t.counters) {
+		fmt.Fprintf(&b, "counter %-32s %d\n", name, t.counters[name].Value())
+	}
+	for _, name := range sortedKeys(t.gauges) {
+		fmt.Fprintf(&b, "gauge   %-32s %.3f\n", name, t.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(t.lats) {
+		h := t.lats[name].Hist()
+		fmt.Fprintf(&b, "latency %-32s n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+			name, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

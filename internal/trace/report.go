@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"npf/internal/sim"
+)
+
+// Text reporting: span forest rendering, top-k slowest roots, and per-stage
+// percentile breakdowns derived purely from recorded spans (the Fig. 3a
+// decomposition, but measured rather than bookkept by the bench runner).
+
+// node is one span plus child indices, used while building the forest.
+type node struct {
+	span     *Span
+	children []int
+}
+
+func buildForest(spans []Span) (nodes []node, roots []int) {
+	nodes = make([]node, len(spans))
+	byID := make(map[SpanID]int, len(spans))
+	for i := range spans {
+		nodes[i].span = &spans[i]
+		byID[spans[i].ID] = i
+	}
+	for i := range spans {
+		p := spans[i].Parent
+		if pi, ok := byID[p]; ok && p != 0 {
+			nodes[pi].children = append(nodes[pi].children, i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	return nodes, roots
+}
+
+// WriteTree renders the span forest as an indented tree with virtual-time
+// offsets and durations in microseconds. Output order is recording order,
+// hence deterministic.
+func WriteTree(w io.Writer, spans []Span) {
+	nodes, roots := buildForest(spans)
+	for _, r := range roots {
+		writeNode(w, nodes, r, 0)
+	}
+}
+
+func writeNode(w io.Writer, nodes []node, i, depth int) {
+	s := nodes[i].span
+	for d := 0; d < depth; d++ {
+		fmt.Fprint(w, "  ")
+	}
+	dur := "open"
+	if !s.Open() {
+		dur = fmt.Sprintf("%8.1fus", float64(s.Dur())/1e3)
+	}
+	fmt.Fprintf(w, "%-6s %-14s @%10.1fus  %s", s.Cat, s.Name, float64(s.Start)/1e3, dur)
+	for _, a := range s.Args {
+		fmt.Fprintf(w, "  %s=%s", a.Key, a.Val)
+	}
+	fmt.Fprintln(w)
+	for _, c := range nodes[i].children {
+		writeNode(w, nodes, c, depth+1)
+	}
+}
+
+// RootDur is one root span with its total duration, for top-k reports.
+type RootDur struct {
+	Span *Span
+	Dur  sim.Time
+}
+
+// TopSlowest returns the k slowest closed root spans of category cat
+// (all categories if cat == ""), slowest first. Ties break on span ID so
+// the order is deterministic.
+func TopSlowest(spans []Span, cat string, k int) []RootDur {
+	var all []RootDur
+	for i := range spans {
+		s := &spans[i]
+		if s.Parent != 0 || s.Open() {
+			continue
+		}
+		if cat != "" && s.Cat != cat {
+			continue
+		}
+		all = append(all, RootDur{Span: s, Dur: s.Dur()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dur != all[j].Dur {
+			return all[i].Dur > all[j].Dur
+		}
+		return all[i].Span.ID < all[j].Span.ID
+	})
+	if k > 0 && len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// StageBreakdown aggregates, over every closed root span of category
+// rootCat, the duration of each direct-child stage name plus the root
+// total. The result maps stage name -> histogram of µs samples, with the
+// root total under "total". This is how npftrace reproduces Fig. 3a: the
+// firmware/parked/driver/update/resume children of each "npf" root are the
+// paper's trigger/sw/hw/resume components.
+func StageBreakdown(spans []Span, rootCat string) map[string]*sim.Histogram {
+	nodes, roots := buildForest(spans)
+	out := make(map[string]*sim.Histogram)
+	get := func(name string) *sim.Histogram {
+		h, ok := out[name]
+		if !ok {
+			h = &sim.Histogram{}
+			out[name] = h
+		}
+		return h
+	}
+	for _, r := range roots {
+		root := nodes[r].span
+		if root.Cat != rootCat || root.Open() {
+			continue
+		}
+		get("total").AddTime(root.Dur())
+		for _, c := range nodes[r].children {
+			cs := nodes[c].span
+			if cs.Open() {
+				continue
+			}
+			get(cs.Name).AddTime(cs.Dur())
+		}
+	}
+	return out
+}
+
+// WriteStageTable renders a StageBreakdown as a fixed-width percentile
+// table, stages sorted by name with "total" last.
+func WriteStageTable(w io.Writer, stages map[string]*sim.Histogram) {
+	names := make([]string, 0, len(stages))
+	for n := range stages {
+		if n != "total" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if _, ok := stages["total"]; ok {
+		names = append(names, "total")
+	}
+	fmt.Fprintf(w, "%-14s %8s %10s %10s %10s %10s %10s\n",
+		"stage", "n", "mean_us", "p50_us", "p95_us", "p99_us", "max_us")
+	for _, n := range names {
+		h := stages[n]
+		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			n, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+	}
+}
+
+// HardwareShare computes the fraction of mean NPF time spent in
+// hardware-side stages (firmware detection, page-table update, resume) —
+// the quantity the paper's Fig. 3a reports as ≈90% at 4 KB. Returns 0 if
+// there is no total.
+func HardwareShare(stages map[string]*sim.Histogram) float64 {
+	tot, ok := stages["total"]
+	if !ok || tot.Count() == 0 || tot.Mean() == 0 {
+		return 0
+	}
+	hw := 0.0
+	for _, n := range []string{"firmware", "update", "resume"} {
+		if h, ok := stages[n]; ok && h.Count() > 0 {
+			// Sum of per-fault means: stages may not appear on every
+			// fault, so weight by occurrence count relative to totals.
+			hw += h.Mean() * float64(h.Count()) / float64(tot.Count())
+		}
+	}
+	return hw / tot.Mean()
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, build, race-enabled tests, and the telemetry
+# subsystem's zero-allocation contract for disabled tracers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test -timeout 20m ./...
+
+# The full experiment suite (internal/bench) takes ~10 minutes without the
+# race detector and blows past any reasonable timeout with it; its heavy
+# tests honour -short, so the race pass runs in short mode and still
+# exercises every package's fast paths under the detector.
+echo "== go test -race -short =="
+go test -race -short -timeout 10m ./...
+
+echo "== tracer disabled-path allocation check =="
+out=$(go test -run 'TestTracerDisabledNoAlloc' -bench 'BenchmarkTracerDisabled' -benchtime 1000x ./internal/trace/)
+echo "$out"
+if ! echo "$out" | grep -q 'BenchmarkTracerDisabled.* 0 B/op.* 0 allocs/op'; then
+    echo "BenchmarkTracerDisabled is not allocation-free" >&2
+    exit 1
+fi
+
+echo "CI OK"
