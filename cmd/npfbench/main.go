@@ -6,16 +6,24 @@
 //
 // Flags:
 //
-//	-quick   smaller trial counts / shorter runs (CI-friendly)
-//	-root    repository root for the loc experiment (default ".")
-//	-trace   write a Chrome trace_event JSON (load in Perfetto / about:tracing)
-//	         covering every engine the selected experiments build
+//	-quick      smaller trial counts / shorter runs (CI-friendly)
+//	-root       repository root for the loc experiment (default ".")
+//	-parallel   fan independent sweep jobs across N worker goroutines
+//	            (0 = one per CPU); results are byte-identical to -parallel 1
+//	-json       write a machine-readable BENCH_results.json-style artifact
+//	            (wall clock, simulated events/sec, engine microbenchmark)
+//	-trace      write a Chrome trace_event JSON (load in Perfetto /
+//	            about:tracing) covering every engine the selected
+//	            experiments build
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"npf/internal/bench"
@@ -23,17 +31,48 @@ import (
 	"npf/internal/trace"
 )
 
+// expResult is one experiment's row in the -json artifact.
+type expResult struct {
+	Name         string  `json:"name"`
+	WallMs       float64 `json:"wall_ms"`
+	Engines      int     `json:"engines"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchArtifact is the top-level -json document.
+type benchArtifact struct {
+	GoVersion   string                  `json:"go_version"`
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	Parallel    int                     `json:"parallel"`
+	Quick       bool                    `json:"quick"`
+	EngineBench bench.EngineBenchResult `json:"engine_bench"`
+	Experiments []expResult             `json:"experiments"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	root := flag.String("root", ".", "repository root (for the loc experiment)")
+	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	flag.Parse()
 
+	if *parallel <= 0 {
+		*parallel = bench.DefaultWorkers()
+	}
+	bench.Workers = *parallel
+
 	var tracers []*trace.Tracer
 	if *traceOut != "" {
+		// Engines are built on worker goroutines under -parallel, so the
+		// factory must be safe for concurrent calls.
+		var mu sync.Mutex
 		bench.TraceFactory = func(eng *sim.Engine) *trace.Tracer {
 			tr := trace.New(eng)
+			mu.Lock()
 			tracers = append(tracers, tr)
+			mu.Unlock()
 			return tr
 		}
 	}
@@ -44,8 +83,16 @@ func main() {
 			"fig7", "fig8a", "fig8b", "fig9", "table6", "fig10", "ablate", "loc"}
 	}
 
+	artifact := &benchArtifact{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   *parallel,
+		Quick:      *quick,
+	}
+
 	for _, exp := range experiments {
 		start := time.Now()
+		bench.StartEngineStats()
 		var out string
 		switch exp {
 		case "fig3":
@@ -100,6 +147,7 @@ func main() {
 			r, err := bench.RunLOC(*root)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "loc: %v\n", err)
+				bench.StopEngineStats()
 				continue
 			}
 			out = r.Render()
@@ -107,7 +155,41 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
 			os.Exit(2)
 		}
-		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, time.Since(start).Round(time.Millisecond), out)
+		wall := time.Since(start)
+		engines, events := bench.StopEngineStats()
+		row := expResult{
+			Name:    exp,
+			WallMs:  float64(wall.Microseconds()) / 1000,
+			Engines: engines,
+			Events:  events,
+		}
+		if wall > 0 {
+			row.EventsPerSec = float64(events) / wall.Seconds()
+		}
+		artifact.Experiments = append(artifact.Experiments, row)
+		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, wall.Round(time.Millisecond), out)
+	}
+
+	if *jsonOut != "" {
+		artifact.EngineBench = bench.EngineMicrobench()
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifact); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("json: wrote %d experiment rows to %s (engine bench: %.1f ns/op, %d allocs/op)\n",
+			len(artifact.Experiments), *jsonOut,
+			artifact.EngineBench.NsPerOp, artifact.EngineBench.AllocsPerOp)
 	}
 
 	if *traceOut != "" {

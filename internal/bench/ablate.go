@@ -42,112 +42,140 @@ type AblateResult struct {
 	ReadBaseMs, ReadExtMs       float64
 }
 
-// RunAblate runs the ablations.
+// RunAblate runs the ablations. Every sub-measurement is an independent,
+// seed-isolated job executed through the sweep runner; each writes only its
+// own result fields, so output does not depend on the Workers fan-out.
 func RunAblate() *AblateResult {
 	res := &AblateResult{}
+	res.PinCapsMB = []int{1, 4, 16, 64}
+	res.PinMs = make([]float64, len(res.PinCapsMB))
+	res.RNRTimeoutsUs = []int{50, 280, 1000, 5000}
+	res.RNRMs = make([]float64, len(res.RNRTimeoutsUs))
+	var jobs []func()
 
 	// 1. Scatter-gather batching/prefetch vs one-page-per-request (§4:
 	// "minor page fault overhead induced by sending a cold 4MB message
 	// would have been prohibitive").
-	coldSend := func(prefetch bool) (events float64, ms float64) {
-		e := NewIBEnv(IBOpts{Seed: 3, Tweak: func(c *rc.Config) { c.PrefetchWQE = prefetch }})
-		const msg = 4 << 20
-		Warm(e.QPA, 0, msg/mem.PageSize) // sender warm; receiver cold
-		var doneAt sim.Time
-		e.QPB.OnRecv = func(rc.RecvCompletion) { doneAt = e.Eng.Now() }
-		e.QPB.PostRecv(rc.RecvWQE{ID: 1, Addr: 0, Len: msg})
-		e.QPA.PostSend(rc.SendWQE{ID: 1, Laddr: 0, Len: msg})
-		e.Eng.RunUntil(10 * sim.Second)
-		return float64(e.HCAB.Faults.N), float64(doneAt) / float64(sim.Millisecond)
-	}
-	res.BatchedEvents, res.BatchedMs = coldSend(true)
-	res.PagewiseEvents, res.PagewiseMs = coldSend(false)
+	jobs = append(jobs,
+		func() { res.BatchedEvents, res.BatchedMs = ablateColdSend(true) },
+		func() { res.PagewiseEvents, res.PagewiseMs = ablateColdSend(false) },
+	)
 
 	// 2. Pin-down cache capacity: shrink it below the off-cache working
 	// set and watch eviction thrash (the coarse-grained pinning tradeoff
 	// of Table 3).
-	res.PinCapsMB = []int{1, 4, 16, 64}
-	for _, mb := range res.PinCapsMB {
-		eng := sim.NewEngine(29)
-		net := fabric.New(eng, fabric.DefaultInfiniBand())
-		job := apps.NewMPIJob(eng, mkMPIHosts(eng, net), apps.MPIConfig{
-			Ranks: 4, Mode: apps.RegPin, OffCacheBuffers: 16,
-			PinCacheBytes: int64(mb) << 20,
+	for i, mb := range res.PinCapsMB {
+		i, mb := i, mb
+		jobs = append(jobs, func() {
+			eng := newBenchEngine(29)
+			net := fabric.New(eng, fabric.DefaultInfiniBand())
+			job := apps.NewMPIJob(eng, mkMPIHosts(eng, net), apps.MPIConfig{
+				Ranks: 4, Mode: apps.RegPin, OffCacheBuffers: 16,
+				PinCacheBytes: int64(mb) << 20,
+			})
+			var elapsed sim.Time
+			job.RunAlltoall(128<<10, 50, func(e sim.Time) { elapsed = e })
+			eng.Run()
+			res.PinMs[i] = float64(elapsed) / float64(sim.Millisecond)
 		})
-		var elapsed sim.Time
-		job.RunAlltoall(128<<10, 50, func(e sim.Time) { elapsed = e })
-		eng.Run()
-		res.PinMs = append(res.PinMs, float64(elapsed)/float64(sim.Millisecond))
 	}
 
 	// 3. RNR timeout: the pause the firmware asks of senders on rNPFs.
-	res.RNRTimeoutsUs = []int{50, 280, 1000, 5000}
-	for _, us := range res.RNRTimeoutsUs {
-		e := NewIBEnv(IBOpts{Seed: 5, Tweak: func(c *rc.Config) {
-			c.RNRTimeout = sim.Time(us) * sim.Microsecond
-		}})
-		const msg = 64 << 10
-		Warm(e.QPA, 0, 2*msg/mem.PageSize)
-		done := 0
-		var doneAt sim.Time
-		e.QPB.OnRecv = func(rc.RecvCompletion) {
-			done++
-			doneAt = e.Eng.Now()
-			if done < 50 {
-				// Next message into a fresh cold buffer.
-				base := mem.VAddr(done*msg/mem.PageSize) * mem.PageSize
-				e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: msg})
-				e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: msg})
+	for i, us := range res.RNRTimeoutsUs {
+		i, us := i, us
+		jobs = append(jobs, func() {
+			e := NewIBEnv(IBOpts{Seed: 5, Tweak: func(c *rc.Config) {
+				c.RNRTimeout = sim.Time(us) * sim.Microsecond
+			}})
+			const msg = 64 << 10
+			Warm(e.QPA, 0, 2*msg/mem.PageSize)
+			done := 0
+			var doneAt sim.Time
+			e.QPB.OnRecv = func(rc.RecvCompletion) {
+				done++
+				doneAt = e.Eng.Now()
+				if done < 50 {
+					// Next message into a fresh cold buffer.
+					base := mem.VAddr(done*msg/mem.PageSize) * mem.PageSize
+					e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: msg})
+					e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: msg})
+				}
 			}
-		}
-		e.QPB.PostRecv(rc.RecvWQE{ID: 0, Addr: 0, Len: msg})
-		e.QPA.PostSend(rc.SendWQE{ID: 0, Laddr: 0, Len: msg})
-		e.Eng.RunUntil(30 * sim.Second)
-		res.RNRMs = append(res.RNRMs, float64(doneAt)/float64(sim.Millisecond)/50)
+			e.QPB.PostRecv(rc.RecvWQE{ID: 0, Addr: 0, Len: msg})
+			e.QPA.PostSend(rc.SendWQE{ID: 0, Laddr: 0, Len: msg})
+			e.Eng.RunUntil(30 * sim.Second)
+			res.RNRMs[i] = float64(doneAt) / float64(sim.Millisecond) / 50
+		})
 	}
+
 	// 4. In-flight bitmap: suppress duplicate fault reports while a
 	// descriptor's resolution is pending (drop policy makes duplicates
 	// visible: a burst repeatedly hits the same faulting descriptor).
-	dropBurst := func(disable bool) float64 {
-		eng := sim.NewEngine(31)
-		net := fabric.New(eng, fabric.DefaultEthernet())
-		m := mem.NewMachine(eng, 8<<30)
-		drv := core.NewDriver(eng, core.DefaultConfig())
-		dcfg := nic.DefaultConfig()
-		dcfg.FirmwareJitterSigma = 0
-		dcfg.DisableInflightBitmap = disable
-		dev := nic.NewDevice(eng, net, dcfg)
-		drv.AttachDevice(dev)
-		as := m.NewAddressSpace("u", nil)
-		as.MapBytes(1 << 20)
-		ch := dev.NewChannel("u", as, 64, nic.PolicyDrop, 64)
-		drv.EnableODP(ch)
-		for i := 0; i < 64; i++ {
-			ch.Rx.PostRx(nic.Descriptor{Buffer: mem.VAddr(i) * mem.PageSize, Len: mem.PageSize})
-		}
-		src := nic.NewDevice(eng, net, dcfg) // traffic source
-		drv.AttachDevice(src)
-		for i := 0; i < 200; i++ {
-			net.Send(&fabric.Packet{Src: src.Node, Dst: dev.Node, Flow: ch.Flow, Size: 4096})
-		}
-		eng.RunUntil(sim.Second)
-		return float64(drv.RxReports.N)
-	}
-	res.BitmapOnReports = dropBurst(false)
-	res.BitmapOffReports = dropBurst(true)
+	jobs = append(jobs,
+		func() { res.BitmapOnReports = ablateDropBurst(false) },
+		func() { res.BitmapOffReports = ablateDropBurst(true) },
+	)
 
 	// 5. 2D translation overhead: a warm IB stream with and without a
 	// guest table (strict protection costs a second-level walk, nothing
 	// else).
-	res.FlatGbps = ablateStream(false)
-	res.NestedGbps = ablateStream(true)
+	jobs = append(jobs,
+		func() { res.FlatGbps = ablateStream(false) },
+		func() { res.NestedGbps = ablateStream(true) },
+	)
 
 	// 6. The paper's §4 recommendation: extend RC end-to-end flow control
 	// to remote reads. Cold-destination reads with the extension suspend
 	// the responder; the baseline drops the in-flight stream and rewinds.
-	res.ReadBaseDrops, res.ReadBaseMs = ablateReadRNR(false)
-	res.ReadExtDrops, res.ReadExtMs = ablateReadRNR(true)
+	jobs = append(jobs,
+		func() { res.ReadBaseDrops, res.ReadBaseMs = ablateReadRNR(false) },
+		func() { res.ReadExtDrops, res.ReadExtMs = ablateReadRNR(true) },
+	)
+
+	runJobs(jobs)
 	return res
+}
+
+// ablateColdSend measures a cold 4MB receive with and without scatter-gather
+// prefetch, returning fault events and delivery time.
+func ablateColdSend(prefetch bool) (events float64, ms float64) {
+	e := NewIBEnv(IBOpts{Seed: 3, Tweak: func(c *rc.Config) { c.PrefetchWQE = prefetch }})
+	const msg = 4 << 20
+	Warm(e.QPA, 0, msg/mem.PageSize) // sender warm; receiver cold
+	var doneAt sim.Time
+	e.QPB.OnRecv = func(rc.RecvCompletion) { doneAt = e.Eng.Now() }
+	e.QPB.PostRecv(rc.RecvWQE{ID: 1, Addr: 0, Len: msg})
+	e.QPA.PostSend(rc.SendWQE{ID: 1, Laddr: 0, Len: msg})
+	e.Eng.RunUntil(10 * sim.Second)
+	return float64(e.HCAB.Faults.N), float64(doneAt) / float64(sim.Millisecond)
+}
+
+// ablateDropBurst counts driver fault reports for one cold-ring burst under
+// the drop policy, with the in-flight bitmap on or off.
+func ablateDropBurst(disable bool) float64 {
+	eng := newBenchEngine(31)
+	net := fabric.New(eng, fabric.DefaultEthernet())
+	m := mem.NewMachine(eng, 8<<30)
+	drv := core.NewDriver(eng, core.DefaultConfig())
+	dcfg := nic.DefaultConfig()
+	dcfg.FirmwareJitterSigma = 0
+	dcfg.DisableInflightBitmap = disable
+	dev := nic.NewDevice(eng, net, dcfg)
+	drv.AttachDevice(dev)
+	as := m.NewAddressSpace("u", nil)
+	as.MapBytes(1 << 20)
+	ch := dev.NewChannel("u", as, 64, nic.PolicyDrop, 64)
+	drv.EnableODP(ch)
+	for i := 0; i < 64; i++ {
+		ch.Rx.PostRx(nic.Descriptor{Buffer: mem.VAddr(i) * mem.PageSize, Len: mem.PageSize})
+	}
+	src := nic.NewDevice(eng, net, dcfg) // traffic source
+	drv.AttachDevice(src)
+	for i := 0; i < 200; i++ {
+		net.Send(&fabric.Packet{Src: src.Node, Dst: dev.Node, Flow: ch.Flow, Size: 4096})
+	}
+	eng.RunUntil(sim.Second)
+	return float64(drv.RxReports.N)
 }
 
 // ablateReadRNR measures repeated 512KB RDMA reads into cold destinations.

@@ -29,12 +29,13 @@ const MaxEngineEvents = 2_000_000_000
 // constructors build and its tracer is wired through the whole stack
 // (drivers, machines, devices/HCAs). cmd/npfbench sets this for -trace so
 // experiments whose envs are built deep inside Run functions get traced;
-// direct env users pass EthOpts.Trace/IBOpts.Trace instead.
+// direct env users pass EthOpts.Trace/IBOpts.Trace instead. With Workers >
+// 1 envs are built from worker goroutines, so the factory must be safe for
+// concurrent calls.
 var TraceFactory func(*sim.Engine) *trace.Tracer
 
 func newEnvEngine(seed int64) (*sim.Engine, *trace.Tracer) {
-	eng := sim.NewEngine(seed)
-	eng.MaxEvents = MaxEngineEvents
+	eng := newBenchEngine(seed)
 	var tr *trace.Tracer
 	if TraceFactory != nil {
 		tr = TraceFactory(eng)

@@ -27,23 +27,36 @@ type Fig10Result struct {
 }
 
 // RunFig10 reproduces Figure 10: the what-if analysis under synthetic rNPFs.
+// Every (frequency, configuration) stream is an independent job on its own
+// engine.
 func RunFig10() *Fig10Result {
 	res := &Fig10Result{Exps: []int{8, 10, 12, 14, 16, 18, 20}}
-	for _, exp := range res.Exps {
+	n := len(res.Exps)
+	res.MinorBrng = make([]float64, n)
+	res.MajorBrng = make([]float64, n)
+	res.MinorDrop = make([]float64, n)
+	res.MajorDrop = make([]float64, n)
+	res.IBMinor = make([]float64, n)
+	var jobs []func()
+	for i, exp := range res.Exps {
+		i := i
 		perByte := math.Pow(2, -float64(exp)) / float64(mem.PageSize)
-		res.MinorBrng = append(res.MinorBrng, runEthStream(perByte, false, true))
-		res.MajorBrng = append(res.MajorBrng, runEthStream(perByte, true, true))
-		res.MinorDrop = append(res.MinorDrop, runEthStream(perByte, false, false))
-		res.MajorDrop = append(res.MajorDrop, runEthStream(perByte, true, false))
-		res.IBMinor = append(res.IBMinor, runIBStream(perByte))
+		jobs = append(jobs,
+			func() { res.MinorBrng[i] = runEthStream(perByte, false, true) },
+			func() { res.MajorBrng[i] = runEthStream(perByte, true, true) },
+			func() { res.MinorDrop[i] = runEthStream(perByte, false, false) },
+			func() { res.MajorDrop[i] = runEthStream(perByte, true, false) },
+			func() { res.IBMinor[i] = runIBStream(perByte) },
+		)
 	}
-	res.IBOptimum = runIBStream(0)
+	jobs = append(jobs, func() { res.IBOptimum = runIBStream(0) })
+	runJobs(jobs)
 	return res
 }
 
 // runEthStream measures one Ethernet stream configuration (Gb/s).
 func runEthStream(freqPerByte float64, major, backup bool) float64 {
-	eng := sim.NewEngine(41)
+	eng := newBenchEngine(41)
 	net := fabric.New(eng, fabric.DefaultEthernet())
 	m := mem.NewMachine(eng, 8<<30)
 	drv := core.NewDriver(eng, core.DefaultConfig())
@@ -78,7 +91,7 @@ func runEthStream(freqPerByte float64, major, backup bool) float64 {
 
 // runIBStream measures the ib_send_bw-style configuration (Gb/s).
 func runIBStream(freqPerByte float64) float64 {
-	eng := sim.NewEngine(43)
+	eng := newBenchEngine(43)
 	net := fabric.New(eng, fabric.DefaultInfiniBand())
 	m := mem.NewMachine(eng, 8<<30)
 	cfg := rc.DefaultConfig()

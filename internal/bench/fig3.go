@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"npf/internal/core"
 	"npf/internal/mem"
 	"npf/internal/rc"
 	"npf/internal/sim"
@@ -24,40 +25,122 @@ type Fig3Breakdown struct {
 	Trigger, Driver, Update, Resume, Total float64
 }
 
+// Fig3Opts configures the Figure 3 reproduction.
+type Fig3Opts struct {
+	// Trials is the number of minor NPFs measured per message size.
+	Trials int
+	// Seed is the base seed for the IB testbeds. Zero means the historical
+	// default (7), so existing results do not move.
+	Seed int64
+	// Replicas splits Trials across this many seed-isolated engines (seeds
+	// Seed, Seed+1, ...), whose histograms are merged in replica order.
+	// The default (1) reproduces the original single-engine run; any value
+	// gives output independent of the Workers fan-out.
+	Replicas int
+}
+
+// fig3DefaultSeed is the seed RunFig3 has always used.
+const fig3DefaultSeed = 7
+
+var fig3Sizes = []struct {
+	name  string
+	bytes int
+}{{"4KB", 4 << 10}, {"4MB", 4 << 20}}
+
 // RunFig3 reproduces Figure 3: repeated minor NPFs on 4KB and 4MB messages,
 // plus the invalidation flow.
 func RunFig3(trials int) *Fig3Result {
-	res := &Fig3Result{NPF: make(map[string]Fig3Breakdown)}
-	for _, size := range []struct {
-		name  string
-		bytes int
-	}{{"4KB", 4 << 10}, {"4MB", 4 << 20}} {
-		e := NewIBEnv(IBOpts{Seed: 7})
-		pages := (size.bytes + mem.PageSize - 1) / mem.PageSize
-		// Sender warm; receive buffers cycle through a window, discarded
-		// after each trial so every receive faults cold (minor).
-		Warm(e.QPA, 0, pages*2)
-		const window = 8
-		done := 0
-		var runTrial func()
-		runTrial = func() {
-			if done >= trials {
-				e.Eng.Stop()
-				return
-			}
-			base := mem.VAddr(done%window*pages) * mem.PageSize
-			e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
-			e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
+	return RunFig3Opts(Fig3Opts{Trials: trials})
+}
+
+// fig3Replica measures `trials` minor NPFs of one message size on a private
+// engine and returns the driver's execution breakdown.
+func fig3Replica(seed int64, bytes, trials int) *core.Breakdown {
+	e := NewIBEnv(IBOpts{Seed: seed})
+	pages := (bytes + mem.PageSize - 1) / mem.PageSize
+	// Sender warm; receive buffers cycle through a window, discarded
+	// after each trial so every receive faults cold (minor).
+	Warm(e.QPA, 0, pages*2)
+	const window = 8
+	done := 0
+	var runTrial func()
+	runTrial = func() {
+		if done >= trials {
+			e.Eng.Stop()
+			return
 		}
-		e.QPB.OnRecv = func(rc.RecvCompletion) {
-			base := mem.PageNum(done % window * pages)
-			e.ASB.DiscardPages(base, pages)
-			done++
-			runTrial()
-		}
+		base := mem.VAddr(done%window*pages) * mem.PageSize
+		e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: bytes})
+		e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: bytes})
+	}
+	e.QPB.OnRecv = func(rc.RecvCompletion) {
+		base := mem.PageNum(done % window * pages)
+		e.ASB.DiscardPages(base, pages)
+		done++
 		runTrial()
-		e.Eng.Run()
-		h := &e.DrvB.Hist
+	}
+	runTrial()
+	e.Eng.Run()
+	return &e.DrvB.Hist
+}
+
+// RunFig3Opts is RunFig3 with explicit seeding and replica fan-out. Every
+// (size, replica) pair and the invalidation flow is an independent job on
+// its own engine, executed through the sweep runner; results are merged in
+// job order, so output does not depend on Workers.
+func RunFig3Opts(o Fig3Opts) *Fig3Result {
+	if o.Seed == 0 {
+		o.Seed = fig3DefaultSeed
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	res := &Fig3Result{NPF: make(map[string]Fig3Breakdown)}
+
+	hists := make([][]*core.Breakdown, len(fig3Sizes))
+	var jobs []func()
+	for si, size := range fig3Sizes {
+		si, size := si, size
+		hists[si] = make([]*core.Breakdown, o.Replicas)
+		for rep := 0; rep < o.Replicas; rep++ {
+			rep := rep
+			trials := o.Trials / o.Replicas
+			if rep < o.Trials%o.Replicas {
+				trials++
+			}
+			jobs = append(jobs, func() {
+				hists[si][rep] = fig3Replica(o.Seed+int64(rep), size.bytes, trials)
+			})
+		}
+	}
+
+	// Figure 3b: invalidations of mapped pages (evicting DMA-mapped
+	// buffers) vs the unmapped fast path.
+	jobs = append(jobs, func() {
+		e := NewIBEnv(IBOpts{Seed: o.Seed})
+		Warm(e.QPB, 0, 256)
+		var mappedCost, fastCost sim.Time
+		for i := 0; i < 256; i++ {
+			_, c := e.ASB.EvictPages(mem.PageNum(i), 1)
+			mappedCost += c
+		}
+		// Fast path: pages resident but never device-mapped.
+		e.ASB.TouchPages(1024, 256, true)
+		for i := 0; i < 256; i++ {
+			_, c := e.ASB.EvictPages(1024+mem.PageNum(i), 1)
+			fastCost += c
+		}
+		res.InvalidationMapped = (mappedCost / 256).Micros()
+		res.InvalidationFast = (fastCost / 256).Micros()
+	})
+
+	runJobs(jobs)
+
+	for si, size := range fig3Sizes {
+		var h core.Breakdown
+		for _, rep := range hists[si] {
+			h.Merge(rep)
+		}
 		res.NPF[size.name] = Fig3Breakdown{
 			Trigger: h.Trigger.Mean(),
 			Driver:  h.DriverSW.Mean(),
@@ -66,24 +149,6 @@ func RunFig3(trials int) *Fig3Result {
 			Total:   h.Total.Mean(),
 		}
 	}
-
-	// Figure 3b: invalidations of mapped pages (evicting DMA-mapped
-	// buffers) vs the unmapped fast path.
-	e := NewIBEnv(IBOpts{Seed: 7})
-	Warm(e.QPB, 0, 256)
-	var mappedCost, fastCost sim.Time
-	for i := 0; i < 256; i++ {
-		_, c := e.ASB.EvictPages(mem.PageNum(i), 1)
-		mappedCost += c
-	}
-	// Fast path: pages resident but never device-mapped.
-	e.ASB.TouchPages(1024, 256, true)
-	for i := 0; i < 256; i++ {
-		_, c := e.ASB.EvictPages(1024+mem.PageNum(i), 1)
-		fastCost += c
-	}
-	res.InvalidationMapped = (mappedCost / 256).Micros()
-	res.InvalidationFast = (fastCost / 256).Micros()
 	return res
 }
 
@@ -124,41 +189,47 @@ type Table4Row struct {
 }
 
 // RunTable4 reproduces Table 4: NPF latency percentiles with firmware
-// jitter enabled.
+// jitter enabled. Each message size runs as an independent job.
 func RunTable4(trials int) *Table4Result {
 	res := &Table4Result{Rows: make(map[string]Table4Row)}
-	for _, size := range []struct {
-		name  string
-		bytes int
-	}{{"4KB", 4 << 10}, {"4MB", 4 << 20}} {
-		e := NewIBEnv(IBOpts{Seed: 11, Jitter: true})
-		pages := (size.bytes + mem.PageSize - 1) / mem.PageSize
-		Warm(e.QPA, 0, pages*2)
-		const window = 8
-		done := 0
-		var runTrial func()
-		runTrial = func() {
-			if done >= trials {
-				e.Eng.Stop()
-				return
+	rows := make([]Table4Row, len(fig3Sizes))
+	jobs := make([]func(), len(fig3Sizes))
+	for si, size := range fig3Sizes {
+		si, size := si, size
+		jobs[si] = func() {
+			e := NewIBEnv(IBOpts{Seed: 11, Jitter: true})
+			pages := (size.bytes + mem.PageSize - 1) / mem.PageSize
+			Warm(e.QPA, 0, pages*2)
+			const window = 8
+			done := 0
+			var runTrial func()
+			runTrial = func() {
+				if done >= trials {
+					e.Eng.Stop()
+					return
+				}
+				base := mem.VAddr(done%window*pages) * mem.PageSize
+				e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
+				e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
 			}
-			base := mem.VAddr(done%window*pages) * mem.PageSize
-			e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
-			e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
-		}
-		e.QPB.OnRecv = func(rc.RecvCompletion) {
-			base := mem.PageNum(done % window * pages)
-			e.ASB.DiscardPages(base, pages)
-			done++
+			e.QPB.OnRecv = func(rc.RecvCompletion) {
+				base := mem.PageNum(done % window * pages)
+				e.ASB.DiscardPages(base, pages)
+				done++
+				runTrial()
+			}
 			runTrial()
+			e.Eng.Run()
+			h := &e.DrvB.Hist.Total
+			rows[si] = Table4Row{
+				P50: h.Percentile(50), P95: h.Percentile(95),
+				P99: h.Percentile(99), Max: h.Max(),
+			}
 		}
-		runTrial()
-		e.Eng.Run()
-		h := &e.DrvB.Hist.Total
-		res.Rows[size.name] = Table4Row{
-			P50: h.Percentile(50), P95: h.Percentile(95),
-			P99: h.Percentile(99), Max: h.Max(),
-		}
+	}
+	runJobs(jobs)
+	for si, size := range fig3Sizes {
+		res.Rows[size.name] = rows[si]
 	}
 	return res
 }

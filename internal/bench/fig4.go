@@ -24,25 +24,35 @@ type Fig4aResult struct {
 }
 
 // RunFig4a reproduces Figure 4(a): memcached startup with a 64-entry cold
-// receive ring under drop/backup/pin.
+// receive ring under drop/backup/pin. Each policy runs as an independent
+// job on its own engine.
 func RunFig4a(duration sim.Time) *Fig4aResult {
 	res := &Fig4aResult{Series: make(map[string][][2]float64)}
-	for _, pol := range fig4Policies {
-		e := NewEthEnv(EthOpts{Seed: 3, Policy: pol, RingSize: 64})
-		store := apps.NewKVStore(e.Server.AS, 0)
-		apps.NewKVServer(e.Server.Stack, store, memcachedService)
-		slap := apps.NewMemaslap(e.Client.Stack, apps.MemaslapConfig{
-			Conns: 8, GetRatio: 0.9, ValueSize: 1024, Keys: 500,
-			KeyPrefix: "k", Prepopulate: true,
-		}, sim.Second)
-		slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
-		e.Eng.RunUntil(duration)
-		times, rates := slap.OpsTS.RatePoints()
-		pts := make([][2]float64, len(times))
-		for i := range times {
-			pts[i] = [2]float64{times[i], rates[i] / 1000}
+	series := make([][][2]float64, len(fig4Policies))
+	jobs := make([]func(), len(fig4Policies))
+	for pi, pol := range fig4Policies {
+		pi, pol := pi, pol
+		jobs[pi] = func() {
+			e := NewEthEnv(EthOpts{Seed: 3, Policy: pol, RingSize: 64})
+			store := apps.NewKVStore(e.Server.AS, 0)
+			apps.NewKVServer(e.Server.Stack, store, memcachedService)
+			slap := apps.NewMemaslap(e.Client.Stack, apps.MemaslapConfig{
+				Conns: 8, GetRatio: 0.9, ValueSize: 1024, Keys: 500,
+				KeyPrefix: "k", Prepopulate: true,
+			}, sim.Second)
+			slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
+			e.Eng.RunUntil(duration)
+			times, rates := slap.OpsTS.RatePoints()
+			pts := make([][2]float64, len(times))
+			for i := range times {
+				pts[i] = [2]float64{times[i], rates[i] / 1000}
+			}
+			series[pi] = pts
 		}
-		res.Series[pol.String()] = pts
+	}
+	runJobs(jobs)
+	for pi, pol := range fig4Policies {
+		res.Series[pol.String()] = series[pi]
 	}
 	return res
 }
@@ -90,29 +100,39 @@ func RunFig4b(ops int, ringSizes []int, timeout sim.Time) *Fig4bResult {
 		ringSizes = []int{16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 	}
 	res := &Fig4bResult{RingSizes: ringSizes, Seconds: make(map[string][]float64)}
-	for _, pol := range fig4Policies {
-		var col []float64
-		for _, ring := range ringSizes {
-			e := NewEthEnv(EthOpts{Seed: 5, Policy: pol, RingSize: ring})
-			store := apps.NewKVStore(e.Server.AS, 0)
-			apps.NewKVServer(e.Server.Stack, store, memcachedService)
-			slap := apps.NewMemaslap(e.Client.Stack, apps.MemaslapConfig{
-				Conns: 8, GetRatio: 0.9, ValueSize: 1024, Keys: 500,
-				KeyPrefix: "k", Prepopulate: true, TargetOps: ops,
-			}, sim.Second)
-			slap.OnDone = func() { e.Eng.Stop() }
-			slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
-			e.Eng.RunUntil(timeout)
-			switch {
-			case slap.Failed && slap.DoneAt == 0:
-				col = append(col, -1) // TCP gave up (paper: ring >= 128)
-			case slap.DoneAt == 0:
-				col = append(col, -2) // timed out
-			default:
-				col = append(col, slap.DoneAt.Seconds())
-			}
+	// One job per (policy, ring size) point, each on a private engine.
+	cols := make([][]float64, len(fig4Policies))
+	var jobs []func()
+	for pi, pol := range fig4Policies {
+		pi, pol := pi, pol
+		cols[pi] = make([]float64, len(ringSizes))
+		for ri, ring := range ringSizes {
+			ri, ring := ri, ring
+			jobs = append(jobs, func() {
+				e := NewEthEnv(EthOpts{Seed: 5, Policy: pol, RingSize: ring})
+				store := apps.NewKVStore(e.Server.AS, 0)
+				apps.NewKVServer(e.Server.Stack, store, memcachedService)
+				slap := apps.NewMemaslap(e.Client.Stack, apps.MemaslapConfig{
+					Conns: 8, GetRatio: 0.9, ValueSize: 1024, Keys: 500,
+					KeyPrefix: "k", Prepopulate: true, TargetOps: ops,
+				}, sim.Second)
+				slap.OnDone = func() { e.Eng.Stop() }
+				slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
+				e.Eng.RunUntil(timeout)
+				switch {
+				case slap.Failed && slap.DoneAt == 0:
+					cols[pi][ri] = -1 // TCP gave up (paper: ring >= 128)
+				case slap.DoneAt == 0:
+					cols[pi][ri] = -2 // timed out
+				default:
+					cols[pi][ri] = slap.DoneAt.Seconds()
+				}
+			})
 		}
-		res.Seconds[pol.String()] = col
+	}
+	runJobs(jobs)
+	for pi, pol := range fig4Policies {
+		res.Seconds[pol.String()] = cols[pi]
 	}
 	return res
 }

@@ -40,66 +40,80 @@ type Fig7Result struct {
 // paged) vs pinning (static 50/50 split).
 func RunFig7() *Fig7Result {
 	res := &Fig7Result{Series: make(map[string][2][][2]float64)}
-	for _, mode := range []string{"npf", "pin"} {
-		e := NewEthEnv(EthOpts{Seed: 17, ServerRAM: 1 << 30, Policy: nic.PolicyBackup, RingSize: 64})
-		var cgroup *mem.Group
-		if mode == "npf" {
-			// One shared budget: memory moves to whoever needs it.
-			cgroup = mem.NewGroup("shared", fig7Cgroup)
-		}
-		var slaps [2]*apps.Memaslap
-		for i := 0; i < 2; i++ {
-			name := fmt.Sprintf("inst%d", i)
-			var srv *EthHost
-			var err error
-			var capacity int64
-			if mode == "npf" {
-				srv, err = e.AddServerInstance(name, nic.PolicyBackup, 64, cgroup, fig7VMBytes)
-				capacity = 0 // bounded by the arena/cgroup, not memcached
-			} else {
-				srv, err = e.AddServerInstance(name, nic.PolicyPinned, 64, nil, fig7PinBytes)
-				capacity = fig7PinCap
-			}
-			if err != nil {
-				panic(err)
-			}
-			store := apps.NewKVStore(srv.AS, capacity)
-			if mode == "npf" {
-				store.SetArena(0, fig7VMBytes)
-			} else {
-				store.SetArena(0, fig7PinBytes-2<<20)
-			}
-			apps.NewKVServer(srv.Stack, store, fig7Service)
-			cli := e.AddClientInstance("cli" + name)
-			startKeys := fig7SmallKeys
-			if i == 1 {
-				startKeys = fig7BigKeys
-			}
-			slap := apps.NewMemaslap(cli.Stack, apps.MemaslapConfig{
-				Conns: 2, GetRatio: 0.9, ValueSize: fig7ItemSize, Keys: startKeys,
-				KeyPrefix: name, Prepopulate: true,
-			}, sim.Second)
-			slap.Start(srv.Chan.Dev.Node, srv.Chan.Flow)
-			slaps[i] = slap
-		}
-		// The flip: instance 0 grows ×9, instance 1 shrinks ×9.
-		e.Eng.At(fig7Flip, func() {
-			slaps[0].SetWorkingSet(fig7BigKeys)
-			slaps[1].SetWorkingSet(fig7SmallKeys)
-		})
-		e.Eng.RunUntil(fig7End)
-		var pair [2][][2]float64
-		for i, s := range slaps {
-			times, rates := s.HitsTS.RatePoints()
-			pts := make([][2]float64, len(times))
-			for j := range times {
-				pts[j] = [2]float64{times[j], rates[j] / 1000}
-			}
-			pair[i] = pts
-		}
-		res.Series[mode] = pair
+	modes := []string{"npf", "pin"}
+	pairs := make([][2][][2]float64, len(modes))
+	jobs := make([]func(), len(modes))
+	for mi, mode := range modes {
+		mi, mode := mi, mode
+		jobs[mi] = func() { pairs[mi] = runFig7Mode(mode) }
+	}
+	runJobs(jobs)
+	for mi, mode := range modes {
+		res.Series[mode] = pairs[mi]
 	}
 	return res
+}
+
+// runFig7Mode runs one configuration (shared-budget NPF or static pinning)
+// on a private engine and returns the two instances' hit-rate series.
+func runFig7Mode(mode string) [2][][2]float64 {
+	e := NewEthEnv(EthOpts{Seed: 17, ServerRAM: 1 << 30, Policy: nic.PolicyBackup, RingSize: 64})
+	var cgroup *mem.Group
+	if mode == "npf" {
+		// One shared budget: memory moves to whoever needs it.
+		cgroup = mem.NewGroup("shared", fig7Cgroup)
+	}
+	var slaps [2]*apps.Memaslap
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("inst%d", i)
+		var srv *EthHost
+		var err error
+		var capacity int64
+		if mode == "npf" {
+			srv, err = e.AddServerInstance(name, nic.PolicyBackup, 64, cgroup, fig7VMBytes)
+			capacity = 0 // bounded by the arena/cgroup, not memcached
+		} else {
+			srv, err = e.AddServerInstance(name, nic.PolicyPinned, 64, nil, fig7PinBytes)
+			capacity = fig7PinCap
+		}
+		if err != nil {
+			panic(err)
+		}
+		store := apps.NewKVStore(srv.AS, capacity)
+		if mode == "npf" {
+			store.SetArena(0, fig7VMBytes)
+		} else {
+			store.SetArena(0, fig7PinBytes-2<<20)
+		}
+		apps.NewKVServer(srv.Stack, store, fig7Service)
+		cli := e.AddClientInstance("cli" + name)
+		startKeys := fig7SmallKeys
+		if i == 1 {
+			startKeys = fig7BigKeys
+		}
+		slap := apps.NewMemaslap(cli.Stack, apps.MemaslapConfig{
+			Conns: 2, GetRatio: 0.9, ValueSize: fig7ItemSize, Keys: startKeys,
+			KeyPrefix: name, Prepopulate: true,
+		}, sim.Second)
+		slap.Start(srv.Chan.Dev.Node, srv.Chan.Flow)
+		slaps[i] = slap
+	}
+	// The flip: instance 0 grows ×9, instance 1 shrinks ×9.
+	e.Eng.At(fig7Flip, func() {
+		slaps[0].SetWorkingSet(fig7BigKeys)
+		slaps[1].SetWorkingSet(fig7SmallKeys)
+	})
+	e.Eng.RunUntil(fig7End)
+	var pair [2][][2]float64
+	for i, s := range slaps {
+		times, rates := s.HitsTS.RatePoints()
+		pts := make([][2]float64, len(times))
+		for j := range times {
+			pts[j] = [2]float64{times[j], rates[j] / 1000}
+		}
+		pair[i] = pts
+	}
+	return pair
 }
 
 // Render prints the per-instance and combined series.

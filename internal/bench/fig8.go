@@ -35,7 +35,7 @@ type storageRig struct {
 // buildStorageRig assembles the testbed; returns an error when the pinned
 // configuration is refused.
 func buildStorageRig(seed int64, ramBytes int64, pinned bool, blockSize int, sessions, iodepth int, targetBytes int64) (*storageRig, error) {
-	eng := sim.NewEngine(seed)
+	eng := newBenchEngine(seed)
 	cfg := rc.DefaultConfig()
 	cfg.FirmwareJitterSigma = 0
 	cfg.MTU = 64 << 10 // jumbo IB MTU keeps event counts tractable
@@ -94,30 +94,43 @@ type Fig8aResult struct {
 }
 
 // RunFig8a reproduces Figure 8(a): random 512 KB read bandwidth vs memory.
+// Each (memory size, pinned) point is an independent job on its own rig.
 func RunFig8a() *Fig8aResult {
 	res := &Fig8aResult{}
+	var rams []int64
 	for ram := int64(512 << 20); ram <= 1024<<20; ram += 64 << 20 {
+		rams = append(rams, ram)
 		res.MemGB = append(res.MemGB, float64(ram*f8Scale)/float64(1<<30))
+	}
+	res.NPF = make([]float64, len(rams))
+	res.Pin = make([]float64, len(rams))
+	var jobs []func()
+	for ri, ram := range rams {
+		ri, ram := ri, ram
 		for _, pinned := range []bool{false, true} {
-			rig, err := buildStorageRig(31, ram, pinned, 512<<10, 1, 16, 0)
-			bw := -1.0
-			if err == nil {
-				rig.fios[0].Start()
-				// Warm the page cache to steady state, then measure.
-				rig.eng.RunUntil(3 * sim.Second)
-				bytesBefore := rig.fios[0].Bytes.N
-				rig.eng.RunUntil(6 * sim.Second)
-				bw = float64(rig.fios[0].Bytes.N-bytesBefore) / 3 / 1e9
-			} else if !errors.Is(err, apps.ErrPinnedTooLarge) {
-				panic(err)
-			}
-			if pinned {
-				res.Pin = append(res.Pin, bw)
-			} else {
-				res.NPF = append(res.NPF, bw)
-			}
+			pinned := pinned
+			jobs = append(jobs, func() {
+				rig, err := buildStorageRig(31, ram, pinned, 512<<10, 1, 16, 0)
+				bw := -1.0
+				if err == nil {
+					rig.fios[0].Start()
+					// Warm the page cache to steady state, then measure.
+					rig.eng.RunUntil(3 * sim.Second)
+					bytesBefore := rig.fios[0].Bytes.N
+					rig.eng.RunUntil(6 * sim.Second)
+					bw = float64(rig.fios[0].Bytes.N-bytesBefore) / 3 / 1e9
+				} else if !errors.Is(err, apps.ErrPinnedTooLarge) {
+					panic(err)
+				}
+				if pinned {
+					res.Pin[ri] = bw
+				} else {
+					res.NPF[ri] = bw
+				}
+			})
 		}
 	}
+	runJobs(jobs)
 	return res
 }
 
@@ -157,30 +170,38 @@ type Fig8bResult struct {
 func RunFig8b() *Fig8bResult {
 	res := &Fig8bResult{Sessions: []int{1, 10, 20, 40, 60, 80}}
 	ram := int64((6 << 30) / f8Scale)
-	for _, sessions := range res.Sessions {
+	res.Pin = make([]float64, len(res.Sessions))
+	res.NPF512KB = make([]float64, len(res.Sessions))
+	res.NPF64KB = make([]float64, len(res.Sessions))
+	var jobs []func()
+	for si, sessions := range res.Sessions {
+		si, sessions := si, sessions
 		for _, cfg := range []struct {
 			pinned bool
 			block  int
-			out    *[]float64
+			out    []float64
 		}{
-			{true, 512 << 10, &res.Pin},
-			{false, 512 << 10, &res.NPF512KB},
-			{false, 64 << 10, &res.NPF64KB},
+			{true, 512 << 10, res.Pin},
+			{false, 512 << 10, res.NPF512KB},
+			{false, 64 << 10, res.NPF64KB},
 		} {
-			rig, err := buildStorageRig(37, ram, cfg.pinned, cfg.block, sessions, 4,
-				int64(sessions)*8<<20)
-			if err != nil {
-				// Pinned at 6 GB (scaled 768 MB): 128 MB < 20% → loads.
-				panic(err)
-			}
-			for _, f := range rig.fios {
-				f.Start()
-			}
-			rig.eng.RunUntil(20 * sim.Second)
-			resident := float64(rig.target.CommBufResident()) * f8Scale / float64(1<<30)
-			*cfg.out = append(*cfg.out, resident)
+			cfg := cfg
+			jobs = append(jobs, func() {
+				rig, err := buildStorageRig(37, ram, cfg.pinned, cfg.block, sessions, 4,
+					int64(sessions)*8<<20)
+				if err != nil {
+					// Pinned at 6 GB (scaled 768 MB): 128 MB < 20% → loads.
+					panic(err)
+				}
+				for _, f := range rig.fios {
+					f.Start()
+				}
+				rig.eng.RunUntil(20 * sim.Second)
+				cfg.out[si] = float64(rig.target.CommBufResident()) * f8Scale / float64(1<<30)
+			})
 		}
 	}
+	runJobs(jobs)
 	return res
 }
 

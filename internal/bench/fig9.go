@@ -34,7 +34,7 @@ var fig9Modes = []apps.RegMode{apps.RegCopy, apps.RegPin, apps.RegODP}
 // virtual time. Like IMB, a warm-up pass runs untimed first (the paper's
 // registration caches and ODP mappings are warm in steady state).
 func runIMB(kind string, mode apps.RegMode, ranks, msgSize, iters int) sim.Time {
-	eng := sim.NewEngine(19)
+	eng := newBenchEngine(19)
 	net := fabric.New(eng, fabric.DefaultInfiniBand())
 	job := apps.NewMPIJob(eng, mkMPIHosts(eng, net), apps.MPIConfig{
 		Ranks: ranks, Mode: mode,
@@ -79,16 +79,24 @@ func RunFig9(ranks, iters int) *Fig9Result {
 		SizesKB:    []int{16, 32, 64, 128},
 		Seconds:    make(map[string]map[string][]float64),
 	}
+	// One job per (benchmark, mode, size) IMB run, each on a private engine.
+	var jobs []func()
 	for _, bench := range res.Benchmarks {
+		bench := bench
 		res.Seconds[bench] = make(map[string][]float64)
 		for _, mode := range fig9Modes {
-			var col []float64
-			for _, kb := range res.SizesKB {
-				col = append(col, runIMB(bench, mode, ranks, kb<<10, iters).Seconds())
-			}
+			mode := mode
+			col := make([]float64, len(res.SizesKB))
 			res.Seconds[bench][mode.String()] = col
+			for ki, kb := range res.SizesKB {
+				ki, kb := ki, kb
+				jobs = append(jobs, func() {
+					col[ki] = runIMB(bench, mode, ranks, kb<<10, iters).Seconds()
+				})
+			}
 		}
 	}
+	runJobs(jobs)
 	return res
 }
 
@@ -131,7 +139,7 @@ func RunTable6(ranks int) *Table6Result {
 	sizes := []int{64 << 10, 256 << 10, 1 << 20}
 	iters := 30
 	for _, mode := range fig9Modes {
-		eng := sim.NewEngine(23)
+		eng := newBenchEngine(23)
 		net := fabric.New(eng, fabric.DefaultInfiniBand())
 		job := apps.NewMPIJob(eng, mkMPIHosts(eng, net), apps.MPIConfig{
 			Ranks: ranks, Mode: mode, OffCacheBuffers: 16, PinCacheBytes: 512 << 20,

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"npf/internal/sim"
+)
+
+// Workers is the fan-out for RunParallel when an experiment does not pass an
+// explicit count: the number of goroutines the figure/ablation sweeps spread
+// their independent sub-runs across. 1 (the default) runs everything
+// serially on the calling goroutine; cmd/npfbench sets it from -parallel.
+//
+// Parallelism never changes results: every job owns a private sim.Engine
+// (seed-isolated by construction), jobs write only their own result slots,
+// and all cross-job merging happens after the pool drains, in job order. So
+// output is byte-identical for any Workers value.
+var Workers = 1
+
+// DefaultWorkers reports the worker count for "use all cores": GOMAXPROCS.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// RunParallel executes every job, fanning them across min(workers, len(jobs))
+// goroutines. Jobs must be independent: each builds its own engines and
+// writes only to result slots no other job touches. RunParallel returns only
+// after every job has finished, so callers may read all slots (and merge
+// them in job order) immediately after it returns.
+func RunParallel(workers int, jobs []func()) {
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, job := range jobs {
+			job()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				jobs[i]()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runJobs is the sweep-internal shorthand: fan jobs across the global
+// Workers setting.
+func runJobs(jobs []func()) { RunParallel(Workers, jobs) }
+
+// ---------------------------------------------------------------------------
+// Engine statistics registry. cmd/npfbench -json uses it to report how many
+// engines an experiment built and how many events they executed, without
+// threading a collector through every Run function.
+
+var engineReg struct {
+	mu      sync.Mutex
+	enabled bool
+	engines []*sim.Engine
+}
+
+// StartEngineStats begins collecting every engine built through the bench
+// package's constructors.
+func StartEngineStats() {
+	engineReg.mu.Lock()
+	engineReg.enabled = true
+	engineReg.engines = nil
+	engineReg.mu.Unlock()
+}
+
+// StopEngineStats ends collection and reports the engines registered since
+// StartEngineStats and the total events they executed. Call it only after
+// the experiment's Run function has returned: RunParallel's barrier makes
+// every engine's counters safe to read then.
+func StopEngineStats() (engines int, events uint64) {
+	engineReg.mu.Lock()
+	defer engineReg.mu.Unlock()
+	for _, e := range engineReg.engines {
+		events += e.Executed()
+	}
+	engines = len(engineReg.engines)
+	engineReg.enabled = false
+	engineReg.engines = nil
+	return engines, events
+}
+
+func registerEngine(eng *sim.Engine) {
+	engineReg.mu.Lock()
+	if engineReg.enabled {
+		engineReg.engines = append(engineReg.engines, eng)
+	}
+	engineReg.mu.Unlock()
+}
+
+// newBenchEngine is the constructor every experiment engine goes through:
+// it applies the runaway-event guard and registers the engine for -json
+// statistics. Env constructors layer the trace factory on top.
+func newBenchEngine(seed int64) *sim.Engine {
+	eng := sim.NewEngine(seed)
+	eng.MaxEvents = MaxEngineEvents
+	registerEngine(eng)
+	return eng
+}

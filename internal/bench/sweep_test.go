@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs fn with the package-level Workers fan-out temporarily set
+// to n.
+func withWorkers(n int, fn func()) {
+	old := Workers
+	Workers = n
+	defer func() { Workers = old }()
+	fn()
+}
+
+func TestRunParallelRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 64} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		jobs := make([]func(), n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() { counts[i].Add(1) }
+		}
+		RunParallel(workers, jobs)
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunParallelEmpty(t *testing.T) {
+	RunParallel(8, nil) // must not hang or panic
+}
+
+// TestRunParallelSlotWrites is the worker-pool exercise for the -race pass:
+// concurrent jobs writing disjoint result slots must be race-free, and the
+// slots must hold the same values regardless of fan-out.
+func TestRunParallelSlotWrites(t *testing.T) {
+	const n = 256
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 8} {
+		got := make([]int, n)
+		jobs := make([]func(), n)
+		for i := range jobs {
+			i := i
+			jobs[i] = func() { got[i] = i * i }
+		}
+		RunParallel(workers, jobs)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunParallelFig3Determinism is the regression test for the sweep
+// runner's core promise: fanning a figure's jobs across 8 workers renders
+// byte-identical output to the serial run.
+func TestRunParallelFig3Determinism(t *testing.T) {
+	opts := Fig3Opts{Trials: 8, Replicas: 4}
+	var serial, fanned string
+	withWorkers(1, func() { serial = RunFig3Opts(opts).Render() })
+	withWorkers(8, func() { fanned = RunFig3Opts(opts).Render() })
+	if serial != fanned {
+		t.Fatalf("fig3 output depends on Workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+}
+
+// TestRunParallelAblateDeterminism checks the ablation suite — the most
+// heterogeneous job mix (twelve sub-experiments across five stacks) — renders
+// identically under serial and parallel execution.
+func TestRunParallelAblateDeterminism(t *testing.T) {
+	var serial, fanned string
+	withWorkers(1, func() { serial = RunAblate().Render() })
+	withWorkers(8, func() { fanned = RunAblate().Render() })
+	if serial != fanned {
+		t.Fatalf("ablate output depends on Workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+}
+
+// TestFig3OptsDefaultsMatchRunFig3 pins the satellite requirement that the
+// hoisted seed option preserves the historical results: RunFig3 must be
+// exactly RunFig3Opts with the default seed and a single replica.
+func TestFig3OptsDefaultsMatchRunFig3(t *testing.T) {
+	a := RunFig3(6).Render()
+	b := RunFig3Opts(Fig3Opts{Trials: 6, Seed: fig3DefaultSeed, Replicas: 1}).Render()
+	if a != b {
+		t.Fatalf("RunFig3 and explicit-default RunFig3Opts diverge:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -75,6 +75,18 @@ type Breakdown struct {
 	Total    sim.Histogram
 }
 
+// Merge folds every sample of other into b, component by component, so
+// breakdowns gathered on seed-isolated replica engines can be combined into
+// one population (the parallel sweep runner merges in replica order to keep
+// results byte-identical to a serial run).
+func (b *Breakdown) Merge(other *Breakdown) {
+	b.Trigger.Merge(&other.Trigger)
+	b.DriverSW.Merge(&other.DriverSW)
+	b.UpdateHW.Merge(&other.UpdateHW)
+	b.Resume.Merge(&other.Resume)
+	b.Total.Merge(&other.Total)
+}
+
 func (b *Breakdown) record(trigger, driver, update, resume sim.Time) {
 	b.Trigger.AddTime(trigger)
 	b.DriverSW.AddTime(driver)

@@ -5,10 +5,15 @@
 // Components schedule callbacks with At/After; Run drains the queue in
 // (time, sequence) order, so two runs with the same seed and the same
 // schedule produce byte-identical results.
+//
+// The hot path is allocation-free in steady state: executed and cancelled
+// events return to a free list and are reused by later At/After calls, and
+// Cancel marks events dead in place (lazy deletion) instead of paying a
+// heap fix-up. Neither optimization can change the execution order — see
+// DESIGN.md §7 for the invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -43,55 +48,55 @@ func (t Time) String() string {
 }
 
 // event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant, preserving scheduling order.
+// for the same instant, preserving scheduling order. The struct is pooled:
+// gen distinguishes the current tenancy from stale EventIDs that refer to
+// an earlier use of the same struct.
 type event struct {
-	at    Time
-	seq   uint64
-	fn    func()
-	index int // heap index; -1 once popped or cancelled
+	at   Time
+	seq  uint64
+	fn   func()
+	gen  uint64
+	dead bool // cancelled; skipped (and recycled) when it surfaces
+	imm  bool // lives in the immediate FIFO, not the heap
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is valid and never cancels anything.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
+// maxFreeEvents caps the free list; beyond it, recycled events are left to
+// the garbage collector. The cap bounds pool memory after a burst while
+// keeping every steady-state workload allocation-free.
+const maxFreeEvents = 1 << 16
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+// compactMinDead is the floor below which Cancel never triggers heap
+// compaction; tiny queues are cheaper to let pop-skip clean up.
+const compactMinDead = 64
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
-	rng     *Rand
-	stopped bool
+	now Time
+	seq uint64
+	// heap is a manual binary min-heap ordered by (at, seq). It holds every
+	// scheduled event except those due at exactly the current instant.
+	heap []*event
+	// imm is a FIFO of events scheduled for the current instant (After(0),
+	// At(Now())). Appending preserves seq order, and no heap event due now
+	// can have a larger seq (nothing enters the heap at the current time),
+	// so a plain queue pop keeps the global (at, seq) order — while making
+	// the extremely common "run this next" pattern O(1).
+	imm     []*event
+	immHead int
+	// free is the event pool; live/heapDead drive Pending and compaction.
+	free     []*event
+	live     int
+	heapDead int
+	rng      *Rand
+	stopped  bool
 	// executed counts events run, for diagnostics and runaway detection.
 	executed uint64
 	// MaxEvents aborts Run with a panic after this many events, guarding
@@ -114,8 +119,37 @@ func (e *Engine) Rand() *Rand { return e.rng }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are currently scheduled (cancelled events
+// are not counted, even while they still occupy queue slots).
+func (e *Engine) Pending() int { return e.live }
+
+// alloc takes an event from the pool, or allocates one when the pool is
+// empty, and stamps it with the next sequence number.
+func (e *Engine) alloc(t Time, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.seq, ev.fn = t, e.seq, fn
+	e.seq++
+	return ev
+}
+
+// recycle returns an event to the pool. Bumping gen invalidates every
+// EventID that still points at this struct.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.dead = false
+	ev.imm = false
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
+}
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (before Now) panics: that is always a component bug.
@@ -123,10 +157,15 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	ev := e.alloc(t, fn)
+	e.live++
+	if t == e.now {
+		ev.imm = true
+		e.imm = append(e.imm, ev)
+	} else {
+		e.pushHeap(ev)
+	}
+	return EventID{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -139,14 +178,46 @@ func (e *Engine) After(d Time, fn func()) EventID {
 
 // Cancel removes a scheduled event. Cancelling an event that already ran or
 // was already cancelled is a no-op; Cancel reports whether the event was
-// actually removed.
+// actually removed. Removal is lazy: the event is marked dead and skipped
+// (and its struct recycled) when it reaches the front of its queue, with a
+// full compaction once dead events outnumber live ones.
 func (e *Engine) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	ev := id.ev
+	if ev == nil || ev.gen != id.gen || ev.dead {
 		return false
 	}
-	heap.Remove(&e.queue, id.ev.index)
-	id.ev.index = -1
+	ev.dead = true
+	ev.fn = nil
+	e.live--
+	if !ev.imm {
+		e.heapDead++
+		if e.heapDead >= compactMinDead && e.heapDead*2 > len(e.heap) {
+			e.compact()
+		}
+	}
 	return true
+}
+
+// compact drops every dead event from the heap and restores the heap
+// property. Order is unaffected: (at, seq) is a total order, so any valid
+// heap over the same live set pops in the same sequence.
+func (e *Engine) compact() {
+	kept := e.heap[:0]
+	for _, ev := range e.heap {
+		if ev.dead {
+			e.recycle(ev)
+		} else {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.heap); i++ {
+		e.heap[i] = nil
+	}
+	e.heap = kept
+	e.heapDead = 0
+	for i := len(kept)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -156,29 +227,157 @@ func (e *Engine) Stop() { e.stopped = true }
 // the final virtual time.
 func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 
+// peek returns the next live event and which queue it heads, discarding any
+// dead events that have surfaced. It returns nil when nothing is scheduled.
+func (e *Engine) peek() (ev *event, fromHeap bool) {
+	for e.immHead < len(e.imm) && e.imm[e.immHead].dead {
+		e.recycle(e.imm[e.immHead])
+		e.imm[e.immHead] = nil
+		e.immHead++
+	}
+	if e.immHead == len(e.imm) {
+		e.imm = e.imm[:0]
+		e.immHead = 0
+	}
+	for len(e.heap) > 0 && e.heap[0].dead {
+		e.heapDead--
+		e.recycle(e.popHeap())
+	}
+	switch {
+	case len(e.heap) == 0 && e.immHead == len(e.imm):
+		return nil, false
+	case len(e.heap) > 0 && (e.immHead == len(e.imm) || e.heap[0].at <= e.now):
+		// A heap event due at the current instant predates (smaller seq)
+		// everything in the immediate FIFO: events only enter the heap for
+		// future times, so it must run first.
+		return e.heap[0], true
+	default:
+		return e.imm[e.immHead], false
+	}
+}
+
+// flushImm migrates pending immediate events into the heap. Called before
+// the clock jumps to a deadline, so the FIFO's invariant (every entry is due
+// at the current instant) survives Stop-then-RunUntil sequences; the moved
+// events keep their (at, seq) keys, so order is unchanged. In the common
+// case the FIFO is already empty and this is a no-op.
+func (e *Engine) flushImm() {
+	for e.immHead < len(e.imm) {
+		ev := e.imm[e.immHead]
+		e.imm[e.immHead] = nil
+		e.immHead++
+		if ev.dead {
+			e.recycle(ev)
+			continue
+		}
+		ev.imm = false
+		e.pushHeap(ev)
+	}
+	e.imm = e.imm[:0]
+	e.immHead = 0
+}
+
 // RunUntil executes events with timestamps <= deadline. Events scheduled
 // after the deadline remain queued; the clock is advanced to the deadline if
 // it is reached (and the deadline is not Forever).
 func (e *Engine) RunUntil(deadline Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
+	for !e.stopped {
+		next, fromHeap := e.peek()
+		if next == nil {
+			break
+		}
 		if next.at > deadline {
 			if deadline != Forever {
+				e.flushImm()
 				e.now = deadline
 			}
 			return e.now
 		}
-		heap.Pop(&e.queue)
+		if fromHeap {
+			e.popHeap()
+		} else {
+			e.imm[e.immHead] = nil
+			e.immHead++
+		}
+		e.live--
 		e.now = next.at
 		e.executed++
 		if e.MaxEvents != 0 && e.executed > e.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now))
 		}
-		next.fn()
+		fn := next.fn
+		e.recycle(next)
+		fn()
 	}
 	if deadline != Forever && e.now < deadline {
+		e.flushImm()
 		e.now = deadline
 	}
 	return e.now
+}
+
+// ---------------------------------------------------------------------------
+// Manual binary min-heap over (at, seq). Hand-rolled instead of
+// container/heap to keep the hot path free of interface dispatch.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) pushHeap(ev *event) {
+	e.heap = append(e.heap, ev)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) popHeap() *event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		i = m
+	}
+	h[i] = ev
 }

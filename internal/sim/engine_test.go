@@ -167,6 +167,122 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
+// Cancelled events are deleted lazily; survivors must still run in exact
+// (time, seq) order and Pending must count only live events.
+func TestEngineCancelLazyOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	var ids []EventID
+	for i := 0; i < 1000; i++ {
+		i := i
+		ids = append(ids, e.At(Time(i%10+1), func() { order = append(order, i) }))
+	}
+	// Cancel enough to force compaction (dead > live).
+	cancelled := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		if i%4 != 0 {
+			if !e.Cancel(ids[i]) {
+				t.Fatalf("Cancel(%d) reported false", i)
+			}
+			cancelled[i] = true
+		}
+	}
+	if e.Pending() != 250 {
+		t.Fatalf("Pending = %d, want 250", e.Pending())
+	}
+	e.Run()
+	if len(order) != 250 {
+		t.Fatalf("ran %d events, want 250", len(order))
+	}
+	for k, i := range order {
+		if cancelled[i] {
+			t.Fatalf("cancelled event %d ran", i)
+		}
+		if k > 0 {
+			prev := order[k-1]
+			pt, ct := Time(prev%10+1), Time(i%10+1)
+			if ct < pt || (ct == pt && i < prev) {
+				t.Fatalf("order violated at %d: %d after %d", k, i, prev)
+			}
+		}
+	}
+}
+
+// EventIDs must go stale when their event runs, even though the underlying
+// struct is pooled and reused by later events.
+func TestEngineEventIDReuseSafety(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	id := e.At(1, func() { ran++ })
+	e.Run()
+	// The struct behind id is now in the free list; this At likely reuses it.
+	e.At(e.Now()+1, func() { ran++ })
+	if e.Cancel(id) {
+		t.Fatal("Cancel of an already-run event reported true")
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatalf("ran = %d, want 2 (stale Cancel must not hit the reused event)", ran)
+	}
+}
+
+// After(0) inside a callback runs after every event already due at the same
+// instant, including ones still in the heap from before the clock arrived.
+func TestEngineImmediateOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(5, func() {
+		order = append(order, "a")
+		e.After(0, func() { order = append(order, "imm1") })
+		e.After(0, func() { order = append(order, "imm2") })
+	})
+	e.At(5, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "b", "imm1", "imm2"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// Stop with same-instant events still queued, then more At(now) scheduling,
+// then resume: (time, seq) order must hold across the interruption, and a
+// deadline jump must not strand immediate events.
+func TestEngineStopResumeImmediate(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(5, func() { order = append(order, "a"); e.Stop() })
+	e.At(5, func() { order = append(order, "b") })
+	e.Run()
+	e.At(5, func() { order = append(order, "c") }) // now == 5: immediate queue
+	e.RunUntil(9)                                  // runs b, c; clock jumps to 9
+	if e.Now() != 9 {
+		t.Fatalf("clock = %v, want 9", e.Now())
+	}
+	e.At(9, func() { order = append(order, "d"); e.Stop() })
+	e.At(9, func() { order = append(order, "e") })
+	e.Run()        // runs d, stops with e still immediate
+	e.RunUntil(20) // deadline jump: e must run first, not be stranded
+	if e.Now() != 20 {
+		t.Fatalf("clock = %v, want 20", e.Now())
+	}
+	want := "a b c d e"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += " "
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
 // Property: events always execute in non-decreasing time order, whatever the
 // schedule.
 func TestEngineMonotonicProperty(t *testing.T) {

@@ -36,4 +36,43 @@ if ! echo "$out" | grep -q 'BenchmarkTracerDisabled.* 0 B/op.* 0 allocs/op'; the
     exit 1
 fi
 
+# The sim engine's free-list contract: steady-state scheduling must not
+# allocate, and the event-throughput hot path must report 0 allocs/op.
+echo "== engine allocation gate =="
+out=$(go test -run 'TestEngineSteadyStateAllocs|TestEngineTimerChurnAllocs' \
+    -bench 'BenchmarkEngineEventThroughput' -benchtime 10000x ./internal/sim/)
+echo "$out"
+if ! echo "$out" | grep -q 'BenchmarkEngineEventThroughput.* 0 B/op.* 0 allocs/op'; then
+    echo "BenchmarkEngineEventThroughput is not allocation-free" >&2
+    exit 1
+fi
+
+# The sweep runner's determinism contract under the race detector: the
+# worker pool fans real figure jobs across 8 goroutines and must produce
+# byte-identical output to the serial run.
+echo "== sweep runner race check =="
+go test -race -run 'TestRunParallel' ./internal/bench/
+
+echo "== bench smoke =="
+go test -run 'XXX' -bench 'BenchmarkFaultPath|BenchmarkBackupReplay' -benchtime=1x ./internal/bench/
+
+echo "== npfbench -json artifact check =="
+tmpjson=$(mktemp)
+trap 'rm -f "$tmpjson"' EXIT
+go run ./cmd/npfbench -quick -parallel 0 -json "$tmpjson" fig3 ablate > /dev/null
+python3 - "$tmpjson" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["parallel"] >= 1, doc
+assert doc["engine_bench"]["allocs_per_op"] == 0, doc["engine_bench"]
+assert doc["engine_bench"]["events_per_sec"] > 0, doc["engine_bench"]
+names = [e["name"] for e in doc["experiments"]]
+assert names == ["fig3", "ablate"], names
+for e in doc["experiments"]:
+    assert e["engines"] > 0 and e["events"] > 0, e
+print("artifact ok:", ", ".join(
+    f"{e['name']}={e['events']} events/{e['engines']} engines" for e in doc["experiments"]))
+EOF
+
 echo "CI OK"
