@@ -1,0 +1,21 @@
+package sim
+
+import "testing"
+
+// Scenario: Stop leaves a same-instant event pending; RunUntil jumps the
+// clock (flushImm moves it to the heap as a past-due event). A future event
+// y at t1 < D is already in the heap. Then At(Now()) schedules x into imm.
+// Correct (time, seq) order must run: t0-event, y(t1), x(D).
+func TestReviewOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.At(5, func() { order = append(order, "a"); e.Stop() })
+	e.At(5, func() { order = append(order, "b") }) // pending imm when Stop fires
+	e.At(8, func() { order = append(order, "y") }) // future event between 5 and 10
+	e.Run()                                        // runs "a", stops; "b" still due at 5
+	e.RunUntil(10)                                 // hmm: runs b (at 5 <= 10), y... let's see
+	t.Logf("after RunUntil(10): now=%v order=%v", e.Now(), order)
+	e.At(10, func() { order = append(order, "x") })
+	e.Run()
+	t.Logf("final: now=%v order=%v", e.Now(), order)
+}
