@@ -1,26 +1,61 @@
 package npf
 
 import (
+	"npf/internal/chaos"
 	"npf/internal/core"
 	"npf/internal/fabric"
 	"npf/internal/mem"
 	"npf/internal/nic"
 	"npf/internal/rc"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // Cluster is a convenience wrapper bundling an engine, a fabric, and host
-// construction — the few lines every simulation starts with.
+// construction — the few lines every simulation starts with. Configure it
+// with functional options:
+//
+//	cluster := npf.NewCluster(npf.WithSeed(42), npf.WithFabric(npf.EthernetFabric()))
 type Cluster struct {
 	Eng *Engine
 	Net *Network
+	// Tracer is non-nil when the cluster was built with WithTracing or
+	// WithChaos; it is wired through every host built afterwards.
+	Tracer *Tracer
+
+	injector *chaos.Injector
 }
 
-// NewCluster creates an engine and fabric in one call.
-func NewCluster(seed int64, cfg FabricConfig) *Cluster {
-	eng := sim.NewEngine(seed)
-	return &Cluster{Eng: eng, Net: fabric.New(eng, cfg)}
+// NewCluster creates an engine and fabric in one call. Defaults: seed 1,
+// Ethernet fabric, no tracing, no chaos.
+func NewCluster(opts ...ClusterOption) *Cluster {
+	cfg := clusterConfig{seed: 1, fabric: EthernetFabric()}
+	for _, o := range opts {
+		o.applyCluster(&cfg)
+	}
+	eng := sim.NewEngine(cfg.seed)
+	c := &Cluster{Eng: eng, Net: fabric.New(eng, cfg.fabric)}
+	if cfg.trace || cfg.plan != nil {
+		c.Tracer = trace.New(eng)
+	}
+	if cfg.plan != nil {
+		// Arm now; hosts and devices created later register themselves with
+		// the injector's live target set before the engine runs.
+		c.injector = chaos.Arm(cfg.plan, chaos.Targets{Eng: eng, Net: c.Net, Tracer: c.Tracer})
+	}
+	return c
 }
+
+// NewClusterSeed creates a cluster from positional parameters.
+//
+// Deprecated: use NewCluster(WithSeed(seed), WithFabric(cfg)).
+func NewClusterSeed(seed int64, cfg FabricConfig) *Cluster {
+	return NewCluster(WithSeed(seed), WithFabric(cfg))
+}
+
+// Injector returns the armed chaos injector, or nil when the cluster was
+// built without WithChaos.
+func (c *Cluster) Injector() *chaos.Injector { return c.injector }
 
 // Host is one machine: memory, an NPF driver, and optionally a NIC and/or
 // an HCA.
@@ -34,49 +69,111 @@ type Host struct {
 	cluster *Cluster
 }
 
-// NewHost adds a machine with ramBytes of memory and an NPF driver.
-func (c *Cluster) NewHost(name string, ramBytes int64) *Host {
-	return &Host{
+// NewHost adds a machine and an NPF driver. Defaults: 8 GiB of RAM,
+// DefaultDriverConfig(); override with WithRAM and WithDriverConfig.
+func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
+	cfg := hostConfig{ram: 8 << 30, driver: core.DefaultConfig()}
+	for _, o := range opts {
+		o.applyHost(&cfg)
+	}
+	h := &Host{
 		Name:    name,
-		Machine: mem.NewMachine(c.Eng, ramBytes),
-		Driver:  core.NewDriver(c.Eng, core.DefaultConfig()),
+		Machine: mem.NewMachine(c.Eng, cfg.ram),
+		Driver:  core.NewDriver(c.Eng, cfg.driver),
 		cluster: c,
 	}
+	h.Machine.SetTracer(c.Tracer)
+	h.Driver.SetTracer(c.Tracer)
+	if c.injector != nil {
+		c.injector.T.Drivers = append(c.injector.T.Drivers, h.Driver)
+	}
+	return h
+}
+
+// NewHostRAM adds a host from positional parameters.
+//
+// Deprecated: use NewHost(name, WithRAM(ramBytes)).
+func (c *Cluster) NewHostRAM(name string, ramBytes int64) *Host {
+	return c.NewHost(name, WithRAM(ramBytes))
 }
 
 // AttachNIC gives the host an Ethernet NIC wired to its driver.
 func (h *Host) AttachNIC() *Device {
 	h.NIC = nic.NewDevice(h.cluster.Eng, h.cluster.Net, nic.DefaultConfig())
+	h.NIC.SetTracer(h.cluster.Tracer)
 	h.Driver.AttachDevice(h.NIC)
+	if ij := h.cluster.injector; ij != nil {
+		ij.T.Devs = append(ij.T.Devs, h.NIC)
+	}
 	return h.NIC
 }
 
 // AttachHCA gives the host an InfiniBand adapter wired to its driver.
 func (h *Host) AttachHCA() *HCA {
 	h.HCA = rc.NewHCA(h.cluster.Eng, h.cluster.Net, rc.DefaultConfig())
+	h.HCA.SetTracer(h.cluster.Tracer)
 	h.Driver.AttachHCA(h.HCA)
+	if ij := h.cluster.injector; ij != nil {
+		ij.T.HCAs = append(ij.T.HCAs, h.HCA)
+	}
 	return h.HCA
 }
 
 // NewProcess creates an IOuser address space, optionally inside a memory
-// cgroup.
+// cgroup. Cgroup'd spaces become visible to cluster-level chaos plans
+// (MemoryPressure waves target registered groups).
 func (h *Host) NewProcess(name string, cgroup *MemGroup) *AddressSpace {
-	return h.Machine.NewAddressSpace(name, cgroup)
+	as := h.Machine.NewAddressSpace(name, cgroup)
+	if ij := h.cluster.injector; ij != nil {
+		ij.T.Spaces = append(ij.T.Spaces, as)
+		if cgroup != nil {
+			ij.T.Groups = append(ij.T.Groups, cgroup)
+		}
+	}
+	return as
 }
 
-// OpenChannel creates a direct I/O channel for as on the host's NIC with
-// the given receive fault policy, and — for non-pinned policies — enables
-// on-demand paging through the host driver. For PolicyPinned the caller is
-// expected to StaticPinAll (or otherwise guarantee residence).
-func (h *Host) OpenChannel(name string, as *AddressSpace, ringSize int, policy FaultPolicy) *Channel {
+// OpenChannel creates a direct I/O channel for as on the host's NIC and —
+// for non-pinned policies — enables on-demand paging through the host
+// driver. Defaults: the address space's name, a 256-entry ring,
+// PolicyBackup; override with WithChannelName, WithRingSize, WithPolicy.
+// A WithChaos plan passed here is armed against this channel's device,
+// driver, and address space only:
+//
+//	ch := host.OpenChannel(as, npf.WithRingSize(256), npf.WithPolicy(npf.PolicyBackup), npf.WithChaos(plan))
+func (h *Host) OpenChannel(as *AddressSpace, opts ...ChannelOption) *Channel {
+	cfg := channelConfig{name: as.Name, ringSize: 256, policy: PolicyBackup}
+	for _, o := range opts {
+		o.applyChannel(&cfg)
+	}
 	if h.NIC == nil {
 		h.AttachNIC()
 	}
-	ch := h.NIC.NewChannel(name, as, ringSize, policy, ringSize)
-	if policy != PolicyPinned {
+	ch := h.NIC.NewChannel(cfg.name, as, cfg.ringSize, cfg.policy, cfg.ringSize)
+	if cfg.policy != PolicyPinned {
 		h.Driver.EnableODP(ch)
 	}
+	if cfg.plan != nil {
+		if h.cluster.Tracer == nil {
+			h.cluster.Tracer = trace.New(h.cluster.Eng)
+		}
+		chaos.Arm(cfg.plan, chaos.Targets{
+			Eng:     h.cluster.Eng,
+			Net:     h.cluster.Net,
+			Devs:    []*Device{h.NIC},
+			Drivers: []*Driver{h.Driver},
+			Spaces:  []*AddressSpace{as},
+			Tracer:  h.cluster.Tracer,
+		})
+	}
 	return ch
+}
+
+// OpenChannelRing creates a channel from positional parameters.
+//
+// Deprecated: use OpenChannel(as, WithChannelName(name), WithRingSize(ringSize), WithPolicy(policy)).
+func (h *Host) OpenChannelRing(name string, as *AddressSpace, ringSize int, policy FaultPolicy) *Channel {
+	return h.OpenChannel(as, WithChannelName(name), WithRingSize(ringSize), WithPolicy(policy))
 }
 
 // OpenQP creates an ODP-enabled queue pair for as on the host's HCA.

@@ -15,6 +15,10 @@
 //	-trace      write a Chrome trace_event JSON (load in Perfetto /
 //	            about:tracing) covering every engine the selected
 //	            experiments build
+//	-chaos      run a named fault-injection scenario instead of the paper
+//	            experiments ("all" runs the whole catalogue; "list" prints
+//	            it); exits non-zero if any invariant fails
+//	-seed       RNG seed for -chaos runs (default 1)
 package main
 
 import (
@@ -27,9 +31,44 @@ import (
 	"time"
 
 	"npf/internal/bench"
+	"npf/internal/chaos"
 	"npf/internal/sim"
 	"npf/internal/trace"
 )
+
+// runChaos runs one named chaos scenario (or all of them) and returns the
+// process exit code: 0 when every invariant held, 1 otherwise.
+func runChaos(name string, seed int64) int {
+	if name == "list" {
+		for _, s := range chaos.Scenarios() {
+			fmt.Printf("  %-24s %s\n", s.Name, s.Desc)
+		}
+		return 0
+	}
+	var names []string
+	if name == "all" {
+		for _, s := range chaos.Scenarios() {
+			names = append(names, s.Name)
+		}
+	} else {
+		names = []string{name}
+	}
+	code := 0
+	for _, n := range names {
+		start := time.Now()
+		rep, err := chaos.RunScenario(n, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			return 2
+		}
+		fmt.Printf("==== chaos %s (wall %v) ====\n%s\n",
+			n, time.Since(start).Round(time.Millisecond), rep.Render())
+		if !rep.Pass {
+			code = 1
+		}
+	}
+	return code
+}
 
 // expResult is one experiment's row in the -json artifact.
 type expResult struct {
@@ -56,7 +95,13 @@ func main() {
 	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
+	chaosName := flag.String("chaos", "", "run a fault-injection scenario (name, \"all\", or \"list\")")
+	seed := flag.Int64("seed", 1, "RNG seed for -chaos runs")
 	flag.Parse()
+
+	if *chaosName != "" {
+		os.Exit(runChaos(*chaosName, *seed))
+	}
 
 	if *parallel <= 0 {
 		*parallel = bench.DefaultWorkers()

@@ -58,10 +58,10 @@ func (n *node) register(buf npf.VAddr, also *npf.QP) npf.Time {
 }
 
 func run(usePinCache bool) (npf.Time, uint64) {
-	cluster := npf.NewCluster(3, npf.InfiniBandFabric())
+	cluster := npf.NewCluster(npf.WithSeed(3), npf.WithFabric(npf.InfiniBandFabric()))
 	ring := make([]*node, nodes)
 	for i := range ring {
-		h := cluster.NewHost(fmt.Sprint("node", i), 32<<30)
+		h := cluster.NewHost(fmt.Sprint("node", i), npf.WithRAM(32<<30))
 		as := h.NewProcess("rank", nil)
 		as.MapBytes(buffers * msgSize)
 		ring[i] = &node{host: h, as: as}

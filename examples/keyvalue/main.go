@@ -49,13 +49,13 @@ func (s *server) accept(c *npf.Conn) {
 // run builds a fresh two-host setup with the given server-ring policy and
 // returns how long 500 request/response pairs took from a cold start.
 func run(policy npf.FaultPolicy) (npf.Time, bool) {
-	cluster := npf.NewCluster(7, npf.EthernetFabric())
-	serverHost := cluster.NewHost("server", 8<<30)
-	clientHost := cluster.NewHost("client", 8<<30)
+	cluster := npf.NewCluster(npf.WithSeed(7), npf.WithFabric(npf.EthernetFabric()))
+	serverHost := cluster.NewHost("server")
+	clientHost := cluster.NewHost("client")
 
 	// Server: one IOuser with a 64-entry receive ring under the policy.
 	srvAS := serverHost.NewProcess("kv", nil)
-	srvCh := serverHost.OpenChannel("kv", srvAS, 64, policy)
+	srvCh := serverHost.OpenChannel(srvAS, npf.WithRingSize(64), npf.WithPolicy(policy))
 	srvStack := npf.NewStack(srvCh, npf.DefaultTCPConfig())
 	if policy == npf.PolicyPinned {
 		if _, err := npf.StaticPinAll(srvAS, srvCh.Domain); err != nil {
@@ -67,7 +67,7 @@ func run(policy npf.FaultPolicy) (npf.Time, bool) {
 
 	// Client: unmodified machine, statically pinned.
 	cliAS := clientHost.NewProcess("cli", nil)
-	cliCh := clientHost.OpenChannel("cli", cliAS, 256, npf.PolicyPinned)
+	cliCh := clientHost.OpenChannel(cliAS, npf.WithPolicy(npf.PolicyPinned))
 	cliStack := npf.NewStack(cliCh, npf.DefaultTCPConfig())
 	if _, err := npf.StaticPinAll(cliAS, cliCh.Domain); err != nil {
 		panic(err)

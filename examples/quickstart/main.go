@@ -13,9 +13,9 @@ import (
 
 func main() {
 	// A two-node InfiniBand cluster, like the paper's Connect-IB testbed.
-	cluster := npf.NewCluster(42, npf.InfiniBandFabric())
-	alice := cluster.NewHost("alice", 8<<30)
-	bob := cluster.NewHost("bob", 8<<30)
+	cluster := npf.NewCluster(npf.WithSeed(42), npf.WithFabric(npf.InfiniBandFabric()))
+	alice := cluster.NewHost("alice")
+	bob := cluster.NewHost("bob")
 
 	// Each host runs one IOuser process. Nothing is pinned, ever: the
 	// address spaces are plain demand-paged virtual memory.

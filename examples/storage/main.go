@@ -14,9 +14,9 @@ import (
 )
 
 func main() {
-	cluster := npf.NewCluster(11, npf.InfiniBandFabric())
-	serverHost := cluster.NewHost("dataserver", 16<<30)
-	clientHost := cluster.NewHost("analytics", 4<<30)
+	cluster := npf.NewCluster(npf.WithSeed(11), npf.WithFabric(npf.InfiniBandFabric()))
+	serverHost := cluster.NewHost("dataserver", npf.WithRAM(16<<30))
+	clientHost := cluster.NewHost("analytics", npf.WithRAM(4<<30))
 
 	// The data server exposes a 4 GiB dataset region. With ODP it can be
 	// registered wholesale — no pinning, no memory consumed up front.

@@ -1,0 +1,75 @@
+package chaos
+
+import "npf/internal/sim"
+
+// GEParams parameterizes the two-state Gilbert–Elliott loss channel: a
+// Markov chain that alternates between a Good state (rare loss) and a Bad
+// state (heavy loss), producing the bursty, correlated drops real links
+// exhibit — the pattern that stresses RC retransmission and the backup
+// ring far harder than independent Bernoulli loss of the same mean rate.
+type GEParams struct {
+	// PGoodBad is the per-packet probability of moving Good→Bad.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of moving Bad→Good.
+	PBadGood float64
+	// LossGood is the drop probability while Good (often 0).
+	LossGood float64
+	// LossBad is the drop probability while Bad.
+	LossBad float64
+}
+
+// DefaultGE returns a moderately bursty channel: mean bad-state residency
+// of 20 packets, entered every ~500 packets, dropping 60% while bad —
+// about 2.3% average loss arriving almost entirely in bursts.
+func DefaultGE() GEParams {
+	return GEParams{PGoodBad: 0.002, PBadGood: 0.05, LossGood: 0, LossBad: 0.6}
+}
+
+// StationaryBad returns the chain's stationary probability of the Bad
+// state, PGoodBad/(PGoodBad+PBadGood).
+func (p GEParams) StationaryBad() float64 {
+	s := p.PGoodBad + p.PBadGood
+	if s == 0 {
+		return 0
+	}
+	return p.PGoodBad / s
+}
+
+// MeanLoss returns the chain's long-run drop probability.
+func (p GEParams) MeanLoss() float64 {
+	b := p.StationaryBad()
+	return (1-b)*p.LossGood + b*p.LossBad
+}
+
+// GEChain is one running Gilbert–Elliott chain (per link). It starts Good.
+type GEChain struct {
+	p   GEParams
+	rng *sim.Rand
+	bad bool
+}
+
+// NewGEChain builds a chain driven by rng.
+func NewGEChain(p GEParams, rng *sim.Rand) *GEChain {
+	return &GEChain{p: p, rng: rng}
+}
+
+// Bad reports the current state.
+func (g *GEChain) Bad() bool { return g.bad }
+
+// Drop advances the chain one packet and reports whether that packet is
+// lost. The state transition is evaluated before the loss draw, so a
+// Good→Bad flip can already claim the packet that caused it.
+func (g *GEChain) Drop() bool {
+	if g.bad {
+		if g.rng.Bernoulli(g.p.PBadGood) {
+			g.bad = false
+		}
+	} else if g.rng.Bernoulli(g.p.PGoodBad) {
+		g.bad = true
+	}
+	loss := g.p.LossGood
+	if g.bad {
+		loss = g.p.LossBad
+	}
+	return loss > 0 && g.rng.Bernoulli(loss)
+}

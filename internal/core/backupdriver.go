@@ -6,6 +6,15 @@ import (
 	"npf/internal/sim"
 )
 
+// pendingRx is one queued receive-fault entry plus how many resolution
+// attempts it has already burned (OOM backoffs, injected resolver timeouts,
+// re-resolutions after a racing reclaim) — the counter behind the backup
+// resolver's exponential backoff and DegradeToPinned escape hatch.
+type pendingRx struct {
+	e       nic.RxNPFEntry
+	attempt int
+}
+
 // chanState is the per-IOuser driver state of §5: the software queue q of
 // faulting packets and the resolver thread T that merges them back into the
 // IOuser's ring. T is modelled as a sequential event chain — one packet in
@@ -13,7 +22,7 @@ import (
 type chanState struct {
 	d    *Driver
 	ch   *nic.Channel
-	q    []nic.RxNPFEntry
+	q    []pendingRx
 	busy bool
 	// waiting marks that T is blocked until the IOuser posts descriptors
 	// (the tail interrupt the paper's T asks the NIC for).
@@ -27,7 +36,8 @@ func (st *chanState) pump() {
 	if st.busy || st.waiting || len(st.q) == 0 {
 		return
 	}
-	e := st.q[0]
+	p := st.q[0]
+	e := p.e
 	ring := st.ch.Rx
 
 	// T first blocks until there is room in the target IOuser ring.
@@ -61,7 +71,7 @@ func (st *chanState) pump() {
 	}
 	// The packet stops being "parked" once T starts serving it.
 	st.d.tr.End(e.Parked)
-	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost, e.Span,
+	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost, e.Span, p.attempt,
 		func() {
 			if e.Packet != nil {
 				// The OS may have reclaimed the buffer again while T
@@ -69,7 +79,7 @@ func (st *chanState) pump() {
 				if desc, ok := ring.DescriptorAt(e.Index); ok {
 					if _, missing := st.ch.Domain.TranslateAccess(desc.Buffer, desc.Len, true); len(missing) > 0 {
 						st.busy = false
-						st.q = append([]nic.RxNPFEntry{e}, st.q...)
+						st.q = append([]pendingRx{{e: e, attempt: p.attempt + 1}}, st.q...)
 						st.pump()
 						return
 					}
@@ -83,11 +93,12 @@ func (st *chanState) pump() {
 			st.pump()
 		},
 		func() {
-			// No reclaimable memory right now: requeue and retry; the
-			// packet stays parked (bounded by the backup ring, as in
-			// hardware).
+			// Resolution could not complete right now (OOM after reclaim or
+			// an injected resolver timeout): requeue and retry with a bumped
+			// attempt count; the packet stays parked (bounded by the backup
+			// ring, as in hardware).
 			st.busy = false
-			st.q = append([]nic.RxNPFEntry{e}, st.q...)
+			st.q = append([]pendingRx{{e: e, attempt: p.attempt + 1}}, st.q...)
 			st.pump()
 		})
 }

@@ -52,16 +52,69 @@ type Config struct {
 	// in every posted descriptor of the ring on the first rNPF (§3's
 	// pre-faulting optimization; incomplete as a solution, useful as one).
 	PrefaultRing bool
+	// RetryBackoffBase is the first retry delay when a fault resolution
+	// cannot complete (OOM after reclaim, or an injected resolver timeout);
+	// successive retries double it up to RetryBackoffMax. Equal values give
+	// the pre-backoff constant delay.
+	RetryBackoffBase sim.Time
+	// RetryBackoffMax caps the exponential retry delay.
+	RetryBackoffMax sim.Time
+	// MaxNPFRetries, with DegradeToPinned, is the escape hatch for a
+	// resolver that keeps timing out: after this many failed attempts on
+	// one fault the driver stops trusting on-demand resolution and pins the
+	// pages outright (so they can never fault again). 0 disables.
+	MaxNPFRetries int
+	// DegradeToPinned enables the pin-instead-of-retry escape hatch.
+	DegradeToPinned bool
 }
 
-// DefaultConfig returns values calibrated against Figure 3.
+// RetryBackoff returns the delay before retry number attempt (0-based):
+// RetryBackoffBase doubled per attempt, capped at RetryBackoffMax.
+func (c Config) RetryBackoff(attempt int) sim.Time {
+	d := c.RetryBackoffBase
+	if d <= 0 {
+		d = 100 * sim.Microsecond
+	}
+	for i := 0; i < attempt; i++ {
+		if c.RetryBackoffMax > 0 && d >= c.RetryBackoffMax {
+			break
+		}
+		d *= 2
+	}
+	if c.RetryBackoffMax > 0 && d > c.RetryBackoffMax {
+		d = c.RetryBackoffMax
+	}
+	return d
+}
+
+// ResolverInjector perturbs fault resolution — the injection point the
+// chaos subsystem uses to model a slow or wedged IOprovider. Each
+// resolution attempt asks it for an extra software delay; timeout true
+// aborts the attempt entirely (the driver retries with exponential
+// backoff, or pins the pages once the DegradeToPinned escape hatch trips).
+type ResolverInjector interface {
+	ResolveDelay(attempt, pages int) (extra sim.Time, timeout bool)
+}
+
+// InvalidationInjector perturbs the MMU-notifier flow: extra is added to
+// the invalidation's synchronous cost (a delayed invalidation), and
+// duplicates schedules that many redundant re-deliveries of the same
+// unmap — adversarial timing the Figure 2 a–d flow must tolerate.
+type InvalidationInjector interface {
+	OnInvalidate(first mem.PageNum, count int) (extra sim.Time, duplicates int)
+}
+
+// DefaultConfig returns values calibrated against Figure 3. Retry backoff
+// defaults to the historical constant 100 µs (base == max, no growth).
 func DefaultConfig() Config {
 	return Config{
-		DispatchCost:  4 * sim.Microsecond,
-		PerPageLookup: 40 * sim.Nanosecond,
-		CheckCost:     9 * sim.Microsecond,
-		UpdateCost:    9 * sim.Microsecond,
-		MemcpyBps:     10e9,
+		DispatchCost:     4 * sim.Microsecond,
+		PerPageLookup:    40 * sim.Nanosecond,
+		CheckCost:        9 * sim.Microsecond,
+		UpdateCost:       9 * sim.Microsecond,
+		MemcpyBps:        10e9,
+		RetryBackoffBase: 100 * sim.Microsecond,
+		RetryBackoffMax:  100 * sim.Microsecond,
 	}
 }
 
@@ -119,6 +172,17 @@ type Driver struct {
 	RxReports sim.Counter
 	Hist      Breakdown
 	Inv       InvalidationStats
+	// ResolverTimeouts counts resolution attempts aborted by an injected
+	// resolver timeout; DegradedPins counts pages pinned by the
+	// DegradeToPinned escape hatch; InvDuplicates counts injected duplicate
+	// notifier deliveries.
+	ResolverTimeouts sim.Counter
+	DegradedPins     sim.Counter
+	InvDuplicates    sim.Counter
+
+	// Fault-injection hooks (nil = no injection).
+	resolver ResolverInjector
+	inval    InvalidationInjector
 
 	// Telemetry (nil-safe: a nil tracer and nil handles disable everything).
 	tr         *trace.Tracer
@@ -128,6 +192,9 @@ type Driver struct {
 	cOOM       *trace.Counter
 	cInvFast   *trace.Counter
 	cInvMapped *trace.Counter
+	cResolveTO *trace.Counter
+	cDegraded  *trace.Counter
+	cInvDup    *trace.Counter
 	lTrigger   *trace.LatencyHist
 	lDriver    *trace.LatencyHist
 	lUpdate    *trace.LatencyHist
@@ -147,6 +214,9 @@ func (d *Driver) SetTracer(tr *trace.Tracer) {
 	d.cOOM = tr.Counter("core.oom_backoffs")
 	d.cInvFast = tr.Counter("core.inv_fastpath")
 	d.cInvMapped = tr.Counter("core.inv_mapped")
+	d.cResolveTO = tr.Counter("core.resolver_timeouts")
+	d.cDegraded = tr.Counter("core.degraded_pins")
+	d.cInvDup = tr.Counter("core.inv_duplicates")
 	d.lTrigger = tr.Latency("core.npf_trigger_us")
 	d.lDriver = tr.Latency("core.npf_driver_us")
 	d.lUpdate = tr.Latency("core.npf_update_us")
@@ -164,6 +234,14 @@ func NewDriver(eng *sim.Engine, cfg Config) *Driver {
 		registered: make(map[*iommu.Domain]bool),
 	}
 }
+
+// SetResolverInjector installs (or, with nil, removes) the fault-injection
+// hook consulted on every resolution attempt.
+func (d *Driver) SetResolverInjector(ij ResolverInjector) { d.resolver = ij }
+
+// SetInvalidationInjector installs (or, with nil, removes) the
+// fault-injection hook consulted on every MMU-notifier invalidation.
+func (d *Driver) SetInvalidationInjector(ij InvalidationInjector) { d.inval = ij }
 
 // AttachDevice routes an Ethernet NIC's fault interrupts to this driver.
 func (d *Driver) AttachDevice(dev *nic.Device) { dev.SetNPFSink(d) }
@@ -195,6 +273,19 @@ func (d *Driver) registerNotifier(as *mem.AddressSpace, dom *iommu.Domain) {
 	d.registered[dom] = true
 	as.RegisterNotifier(mem.NotifierFunc(func(first mem.PageNum, count int) sim.Time {
 		cost := d.Cfg.CheckCost
+		if d.inval != nil {
+			// Injected notifier chaos: extra stretches this invalidation's
+			// synchronous cost (a delayed invalidation, stalling the evictor),
+			// and duplicates schedules redundant re-deliveries of the same
+			// unmap at spaced delays — the adversarial reordering the
+			// Figure 2 a–d flow must tolerate.
+			extra, dups := d.inval.OnInvalidate(first, count)
+			cost += extra
+			for i := 1; i <= dups; i++ {
+				delay := cost + sim.Time(i)*(d.Cfg.CheckCost+d.Cfg.UpdateCost)
+				d.Eng.After(delay, func() { d.replayInvalidate(dom, first, count) })
+			}
+		}
 		unmapCost, removed := dom.Unmap(first, count)
 		if removed == 0 {
 			// Lazily mapped pages are often absent (Figure 3b fast path).
@@ -216,6 +307,24 @@ func (d *Driver) registerNotifier(as *mem.AddressSpace, dom *iommu.Domain) {
 		}
 		return cost
 	}))
+}
+
+// replayInvalidate re-runs an unmap the injector duplicated. Either the
+// translations are already gone (fast path — the common case) or a refault
+// raced them back in, in which case the replay removes fresh translations
+// and the device refaults on next access: benign by design, exactly the
+// coherence property duplicated notifier deliveries are meant to stress.
+func (d *Driver) replayInvalidate(dom *iommu.Domain, first mem.PageNum, count int) {
+	d.InvDuplicates.Inc()
+	d.cInvDup.Inc()
+	_, removed := dom.Unmap(first, count)
+	if d.tr.Enabled() {
+		now := d.Eng.Now()
+		id := d.tr.Span(0, "inv", "invalidate-dup", now, now+d.Cfg.CheckCost)
+		d.tr.ArgInt(id, "first", int64(first))
+		d.tr.ArgInt(id, "count", int64(count))
+		d.tr.ArgInt(id, "removed", int64(removed))
+	}
 }
 
 // faultPrep performs Figure 2 step 3: the OS faults the missing pages in
@@ -276,10 +385,12 @@ func (d *Driver) faultCommit(as *mem.AddressSpace, dom *iommu.Domain, pages []me
 // (e.g. the backup resolver's packet copy). parent is the device-opened
 // lifecycle span for this fault (0 when the device predates tracing or
 // tracing is off); the driver hangs the driver/update/resume stage spans
-// off it and closes it when the device resumes.
+// off it and closes it when the device resumes. attempt counts prior failed
+// resolutions of this same fault (0 on first service); it drives the
+// exponential retry backoff and the DegradeToPinned escape hatch.
 func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem.PageNum,
 	write bool, start sim.Time, resumeCost, extraCost sim.Time, parent trace.SpanID,
-	done func(), retry func()) {
+	attempt int, done func(), retry func()) {
 	now := d.Eng.Now()
 	trigger := now - start
 	root := parent
@@ -288,6 +399,26 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		// from the fault-report delay so the tree is complete anyway.
 		root = d.tr.BeginAt(0, "npf", "npf", start)
 		d.tr.Span(root, "npf.stage", "firmware", start, now)
+	}
+	// Escape hatch: after MaxNPFRetries failed attempts the driver stops
+	// trusting on-demand resolution for this fault — it bypasses the
+	// (possibly wedged) resolver injection point and pins the pages during
+	// this service so they can never fault again.
+	degraded := d.Cfg.DegradeToPinned && d.Cfg.MaxNPFRetries > 0 && attempt >= d.Cfg.MaxNPFRetries
+	if d.resolver != nil && !degraded {
+		extra, timeout := d.resolver.ResolveDelay(attempt, len(pages))
+		if timeout {
+			// The resolver wedged: abort this attempt and retry with
+			// exponential backoff. The device keeps the operation
+			// suspended/parked meanwhile.
+			d.ResolverTimeouts.Inc()
+			d.cResolveTO.Inc()
+			delay := d.Cfg.DispatchCost + extra + d.Cfg.RetryBackoff(attempt)
+			d.tr.Span(root, "npf.stage", "resolver-timeout", now, now+delay)
+			d.Eng.After(delay, retry)
+			return
+		}
+		extraCost += extra
 	}
 	sw, osCost, major, err := d.faultPrep(as, pages, write)
 	sw += extraCost
@@ -300,8 +431,9 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		// OOM even after reclaim: back off and retry; the device keeps the
 		// operation suspended/parked meanwhile.
 		d.cOOM.Inc()
-		d.tr.Span(root, "npf.stage", "oom-backoff", now, now+sw+100*sim.Microsecond)
-		d.Eng.After(sw+100*sim.Microsecond, retry)
+		backoff := d.Cfg.RetryBackoff(attempt)
+		d.tr.Span(root, "npf.stage", "oom-backoff", now, now+sw+backoff)
+		d.Eng.After(sw+backoff, retry)
 		return
 	}
 	if d.tr.Enabled() {
@@ -317,6 +449,33 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		}
 		if extraCost > 0 {
 			d.tr.Span(drv, "npf.stage", "copy", now+sw-extraCost, now+sw)
+		}
+	}
+	if degraded && len(pages) > 0 {
+		// The pages are resident now; pin them (best effort, stopping at the
+		// memlock limit) so this fault cannot recur. The pin cost extends the
+		// software phase.
+		var pinCost sim.Time
+		var pinned int
+		for _, pn := range pages {
+			if as.Pinned(pn) {
+				continue
+			}
+			res, perr := as.Pin(pn, 1)
+			if perr != nil {
+				break
+			}
+			pinCost += res.Cost
+			pinned++
+		}
+		if pinned > 0 {
+			d.DegradedPins.Add(uint64(pinned))
+			d.cDegraded.Add(uint64(pinned))
+			if d.tr.Enabled() {
+				id := d.tr.Span(root, "npf.stage", "degrade-pinned", now+sw, now+sw+pinCost)
+				d.tr.ArgInt(id, "pages", int64(pinned))
+			}
+			sw += pinCost
 		}
 	}
 	d.Eng.After(sw, func() {
@@ -344,23 +503,27 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 // will WRITE memory (placing incoming sends/writes or read-response data)
 // resolve with write intent, breaking copy-on-write protection like
 // get_user_pages(write) does.
-func (d *Driver) HandleQPFault(ev rc.QPFault) {
+func (d *Driver) HandleQPFault(ev rc.QPFault) { d.handleQPFault(ev, 0) }
+
+func (d *Driver) handleQPFault(ev rc.QPFault, attempt int) {
 	write := ev.Class == rc.FaultRecvRNPF || ev.Class == rc.FaultReadInitiator
 	d.serveFault(ev.QP.AS, ev.QP.Domain, ev.Missing, write, ev.Start,
-		ev.QP.HCA().Cfg.FirmwareResume, 0, ev.Span,
+		ev.QP.HCA().Cfg.FirmwareResume, 0, ev.Span, attempt,
 		ev.Resolved,
-		func() { d.HandleQPFault(ev) })
+		func() { d.handleQPFault(ev, attempt+1) })
 }
 
 // ---------------------------------------------------------------------------
 // nic.NPFSink: Ethernet NPFs (§5).
 
 // HandleTxNPF implements nic.NPFSink for send-side faults.
-func (d *Driver) HandleTxNPF(ev nic.TxNPF) {
+func (d *Driver) HandleTxNPF(ev nic.TxNPF) { d.handleTxNPF(ev, 0) }
+
+func (d *Driver) handleTxNPF(ev nic.TxNPF, attempt int) {
 	d.serveFault(ev.Channel.AS, ev.Channel.Domain, ev.Missing, false, ev.Start,
-		ev.Channel.Dev.Cfg.FirmwareResume, 0, ev.Span,
+		ev.Channel.Dev.Cfg.FirmwareResume, 0, ev.Span, attempt,
 		ev.Resume,
-		func() { d.HandleTxNPF(ev) })
+		func() { d.handleTxNPF(ev, attempt+1) })
 }
 
 // HandleRxNPF implements nic.NPFSink for receive faults: drop-policy
@@ -373,11 +536,25 @@ func (d *Driver) HandleRxNPF(entries []nic.RxNPFEntry) {
 		if !ok {
 			panic("core: rNPF on channel without ODP enabled: " + e.Channel.Name)
 		}
-		st.q = append(st.q, e)
+		st.q = append(st.q, pendingRx{e: e})
 	}
 	for _, e := range entries {
 		d.chans[e.Channel].pump()
 	}
+}
+
+// PendingBackupWork reports how many receive-fault entries are queued or in
+// service across every ODP channel's backup resolver — zero means no parked
+// packet is awaiting resolution (the "no stuck rings" chaos invariant).
+func (d *Driver) PendingBackupWork() int {
+	n := 0
+	for _, st := range d.chans {
+		n += len(st.q)
+		if st.busy {
+			n++
+		}
+	}
+	return n
 }
 
 // prefaultPages gathers the missing pages of every posted descriptor

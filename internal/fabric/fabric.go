@@ -67,6 +67,11 @@ func DefaultInfiniBand() Config {
 	return Config{RateBps: 56e9, Propagation: sim.Microsecond, Lossless: true}
 }
 
+// LossFunc decides the fate of one packet about to be delivered at a node's
+// ingress: returning true drops it. Installed per link by fault injectors
+// (internal/chaos); nil means no injected loss.
+type LossFunc func(pkt *Packet) bool
+
 // Network is the fabric instance. All hosts attach to the same Network.
 type Network struct {
 	eng *sim.Engine
@@ -79,6 +84,9 @@ type Network struct {
 	Delivered      sim.Counter
 	DeliveredBytes sim.Counter
 	Dropped        sim.Counter
+	// InjectedDrops counts packets dropped by per-link LossFuncs and downed
+	// links (a subset of Dropped).
+	InjectedDrops sim.Counter
 }
 
 type node struct {
@@ -86,6 +94,11 @@ type node struct {
 	endpoint Endpoint
 	egress   *port
 	ingress  *port
+	// rng is this link's private loss stream: each node draws from its own
+	// deterministic sequence, so loss outcomes on one link do not depend on
+	// how deliveries interleave with other links' traffic.
+	rng  *sim.Rand
+	loss LossFunc
 }
 
 // New creates a network on eng with the given configuration.
@@ -101,11 +114,13 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	}
 }
 
-// Attach adds an endpoint to the fabric and returns its node id.
+// Attach adds an endpoint to the fabric and returns its node id. Each node
+// receives its own RNG stream, split off the fabric's at attach time:
+// attachment order is deterministic, so per-link loss sequences are too.
 func (n *Network) Attach(ep Endpoint) NodeID {
 	n.nextsID++
 	id := n.nextsID
-	nd := &node{id: id, endpoint: ep}
+	nd := &node{id: id, endpoint: ep, rng: n.rng.Split()}
 	nd.egress = newPort(n, fmt.Sprintf("egress-%d", id), n.cfg.RateBps, 1<<30, true)
 	nd.ingress = newPort(n, fmt.Sprintf("ingress-%d", id), n.cfg.RateBps, n.cfg.IngressBufferBytes, n.cfg.Lossless)
 	n.nodes[id] = nd
@@ -138,7 +153,12 @@ func (n *Network) Send(pkt *Packet) {
 		n.eng.After(n.cfg.Propagation, func() {
 			dst := n.nodes[p.Dst]
 			dst.ingress.enqueue(p, func(p *Packet) {
-				if n.cfg.LossProbability > 0 && n.rng.Bernoulli(n.cfg.LossProbability) {
+				if dst.loss != nil && dst.loss(p) {
+					n.Dropped.Inc()
+					n.InjectedDrops.Inc()
+					return
+				}
+				if n.cfg.LossProbability > 0 && dst.rng.Bernoulli(n.cfg.LossProbability) {
 					n.Dropped.Inc()
 					return
 				}
@@ -148,6 +168,38 @@ func (n *Network) Send(pkt *Packet) {
 			})
 		})
 	})
+}
+
+// SetLossFunc installs (or, with nil, removes) an injected per-link loss
+// decision on a node's ingress. The function runs once per packet that
+// survives buffering, before the config-level LossProbability draw.
+func (n *Network) SetLossFunc(id NodeID, fn LossFunc) {
+	n.nodes[id].loss = fn
+}
+
+// Rand returns the node's private, deterministic loss stream, so injectors
+// can correlate their own draws with the link rather than a global stream.
+func (n *Network) Rand(id NodeID) *sim.Rand { return n.nodes[id].rng }
+
+// SetLinkDown severs (or restores) a node's link in both directions:
+// while down, everything it sends or should receive is silently dropped —
+// a cable pull, unlike Pause which buffers.
+func (n *Network) SetLinkDown(id NodeID, down bool) {
+	nd := n.nodes[id]
+	nd.ingress.blackhole = down
+	nd.egress.blackhole = down
+}
+
+// NodeIDs returns every attached node id in ascending order (a stable
+// enumeration for fault injectors and diagnostics).
+func (n *Network) NodeIDs() []NodeID {
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := NodeID(1); int(id) <= len(n.nodes); id++ {
+		if _, ok := n.nodes[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
 }
 
 // SetBlackhole makes a node's ingress silently discard all traffic (on) —

@@ -92,6 +92,25 @@ func NewGroup(name string, limit int64) *Group {
 // Used reports the group's current resident bytes.
 func (g *Group) Used() int64 { return g.used }
 
+// SetLimit changes the group's byte limit at runtime and synchronously
+// reclaims LRU pages until usage fits under the new limit (the kernel's
+// behaviour when a cgroup limit is lowered). It returns the reclaim cost
+// and how many bytes could not be reclaimed (unreclaimable pinned overhang
+// — the memory.max analogue of an OOM). Fault injectors use this to model
+// memory-pressure waves; raising the limit never reclaims.
+func (g *Group) SetLimit(limit int64) (cost sim.Time, overhang int64) {
+	g.Limit = limit
+	for g.Limit > 0 && g.used > g.Limit {
+		_, c, ok := g.evictLRU()
+		if !ok {
+			return cost, g.used - g.Limit
+		}
+		g.Evictions.Inc()
+		cost += c
+	}
+	return cost, 0
+}
+
 func (g *Group) addMember(m evictable) { g.members = append(g.members, m) }
 
 // charge accounts n more resident bytes, reclaiming if needed. It returns

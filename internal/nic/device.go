@@ -152,11 +152,12 @@ type Device struct {
 	MMU  *iommu.Unit
 	Cfg  Config
 
-	rng      *sim.Rand
-	channels map[fabric.FlowID]*Channel
-	nextFlow fabric.FlowID
-	Backup   *BackupRing
-	sink     NPFSink
+	rng       *sim.Rand
+	channels  map[fabric.FlowID]*Channel
+	nextFlow  fabric.FlowID
+	Backup    *BackupRing
+	sink      NPFSink
+	faultHook func(sim.Time) sim.Time
 
 	// Tracer records NPF lifecycle spans; nil disables tracing.
 	Tracer *trace.Tracer
@@ -199,20 +200,28 @@ func (d *Device) SetTracer(tr *trace.Tracer) {
 	d.MMU.SetTracer(tr)
 }
 
+// SetFaultDelayHook installs a transformation on the sampled firmware
+// fault-path latency — the injection point fault injectors (internal/chaos)
+// use to model firmware stalls. nil removes it.
+func (d *Device) SetFaultDelayHook(fn func(sim.Time) sim.Time) { d.faultHook = fn }
+
 // firmwareFaultLatency samples the firmware fault-path latency, with the
 // long-tailed jitter that produces Table 4.
 func (d *Device) firmwareFaultLatency() sim.Time {
-	base := d.Cfg.FirmwareFault
-	if d.Cfg.FirmwareJitterSigma <= 0 {
-		return base
+	lat := d.Cfg.FirmwareFault
+	if d.Cfg.FirmwareJitterSigma > 0 {
+		f := d.rng.LogNormal(0, d.Cfg.FirmwareJitterSigma)
+		// Occasional scheduling hiccup in the firmware's slow error path: a
+		// heavy tail reaching ~2x the median, as in Table 4's max column.
+		if d.rng.Bernoulli(0.003) {
+			f *= 1.7 + 1.3*d.rng.Float64()
+		}
+		lat = sim.Time(float64(lat) * f)
 	}
-	f := d.rng.LogNormal(0, d.Cfg.FirmwareJitterSigma)
-	// Occasional scheduling hiccup in the firmware's slow error path: a
-	// heavy tail reaching ~2x the median, as in Table 4's max column.
-	if d.rng.Bernoulli(0.003) {
-		f *= 1.7 + 1.3*d.rng.Float64()
+	if d.faultHook != nil {
+		lat = d.faultHook(lat)
 	}
-	return sim.Time(float64(base) * f)
+	return lat
 }
 
 // Channel is one hardware-provided virtual NIC instance (the paper's

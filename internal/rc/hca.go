@@ -163,10 +163,11 @@ type HCA struct {
 	MMU  *iommu.Unit
 	Cfg  Config
 
-	rng    *sim.Rand
-	qps    map[QPN]*QP
-	nextQP QPN
-	sink   FaultSink
+	rng       *sim.Rand
+	qps       map[QPN]*QP
+	nextQP    QPN
+	sink      FaultSink
+	faultHook func(sim.Time) sim.Time
 
 	// Tracer records NPF/RNR lifecycle spans; nil disables tracing.
 	Tracer *trace.Tracer
@@ -214,16 +215,24 @@ func (h *HCA) SetTracer(tr *trace.Tracer) {
 	h.cRwnd = tr.Counter("rc.read_rewinds")
 }
 
+// SetFaultDelayHook installs a transformation on the sampled firmware
+// fault-path latency — the injection point fault injectors (internal/chaos)
+// use to model firmware stalls. nil removes it.
+func (h *HCA) SetFaultDelayHook(fn func(sim.Time) sim.Time) { h.faultHook = fn }
+
 func (h *HCA) firmwareFaultLatency() sim.Time {
-	base := h.Cfg.FirmwareFault
-	if h.Cfg.FirmwareJitterSigma <= 0 {
-		return base
+	lat := h.Cfg.FirmwareFault
+	if h.Cfg.FirmwareJitterSigma > 0 {
+		f := h.rng.LogNormal(0, h.Cfg.FirmwareJitterSigma)
+		if h.rng.Bernoulli(0.003) {
+			f *= 1.7 + 1.3*h.rng.Float64()
+		}
+		lat = sim.Time(float64(lat) * f)
 	}
-	f := h.rng.LogNormal(0, h.Cfg.FirmwareJitterSigma)
-	if h.rng.Bernoulli(0.003) {
-		f *= 1.7 + 1.3*h.rng.Float64()
+	if h.faultHook != nil {
+		lat = h.faultHook(lat)
 	}
-	return sim.Time(float64(base) * f)
+	return lat
 }
 
 // raiseFault reports an NPF to the driver after the firmware fault path.

@@ -25,11 +25,35 @@
 //     every table and figure — npf/internal/apps, npf/internal/bench
 //
 // This root package re-exports the pieces a user composes, and offers a
-// Cluster convenience wrapper; see examples/ for runnable programs and
-// cmd/npfbench for the paper's evaluation.
+// Cluster convenience wrapper built from functional options:
+//
+//	cluster := npf.NewCluster(npf.WithSeed(42), npf.WithFabric(npf.EthernetFabric()))
+//	host := cluster.NewHost("server", npf.WithRAM(8<<30))
+//	ch := host.OpenChannel(as, npf.WithRingSize(256), npf.WithPolicy(npf.PolicyBackup))
+//
+// # Fault injection
+//
+// The chaos re-exports (ChaosPlan, FirmwareStall, LossBurst, GilbertElliott,
+// LinkFlap, MemoryPressure, InvalidationChaos, ResolverSlowdown) build
+// deterministic fault-injection plans — seeded-RNG scheduling, byte-identical
+// replay, every injected fault traced. Hand a plan to NewCluster or
+// OpenChannel via WithChaos:
+//
+//	plan := npf.NewChaosPlan(
+//		npf.LossBurst{At: 2 * npf.Millisecond, Duration: 3 * npf.Millisecond, Prob: 0.3},
+//		npf.FirmwareStall{At: 1 * npf.Millisecond, Duration: 3 * npf.Millisecond, Mult: 3},
+//	)
+//	cluster := npf.NewCluster(npf.WithSeed(42), npf.WithChaos(plan))
+//
+// Canned adversarial scenarios with pass/fail invariants live behind
+// ChaosScenarios / RunChaosScenario (also `npfbench -chaos NAME`).
+//
+// See examples/ for runnable programs and cmd/npfbench for the paper's
+// evaluation.
 package npf
 
 import (
+	"npf/internal/chaos"
 	"npf/internal/core"
 	"npf/internal/fabric"
 	"npf/internal/iommu"
@@ -38,6 +62,7 @@ import (
 	"npf/internal/rc"
 	"npf/internal/sim"
 	"npf/internal/tcp"
+	"npf/internal/trace"
 )
 
 // Simulation engine.
@@ -212,4 +237,68 @@ func StaticPinAll(as *AddressSpace, dom *IOMMUDomain) (Time, error) {
 // NewPinDownCache creates a bounded pin-down cache over (as, dom).
 func NewPinDownCache(as *AddressSpace, dom *IOMMUDomain, capacity int64) *PinDownCache {
 	return core.NewPinDownCache(as, dom, capacity)
+}
+
+// Telemetry.
+type (
+	// Tracer records spans, counters, and latency histograms on the
+	// engine's virtual clock. A nil *Tracer is inert, so call sites never
+	// guard.
+	Tracer = trace.Tracer
+	// Span is one recorded interval; SpanID names it; Arg is an attached
+	// key/value.
+	Span   = trace.Span
+	SpanID = trace.SpanID
+	Arg    = trace.Arg
+)
+
+// NewTracer creates a tracer on eng. Components accept it via their
+// SetTracer methods; the Cluster facade wires it everywhere when built
+// WithTracing (or WithChaos, which implies tracing).
+func NewTracer(eng *Engine) *Tracer { return trace.New(eng) }
+
+// Fault injection (internal/chaos).
+type (
+	// ChaosPlan is an ordered list of faults to inject; ChaosFault is one
+	// configured perturbation.
+	ChaosPlan  = chaos.Plan
+	ChaosFault = chaos.Fault
+	// ChaosTargets names the stack objects a plan may perturb;
+	// ChaosInjector is an armed plan. Most users never touch either —
+	// WithChaos arms plans against the cluster or channel automatically.
+	ChaosTargets  = chaos.Targets
+	ChaosInjector = chaos.Injector
+
+	// The fault types a plan can carry.
+	FirmwareStall     = chaos.FirmwareStall
+	LossBurst         = chaos.LossBurst
+	GilbertElliott    = chaos.GilbertElliott
+	GEParams          = chaos.GEParams
+	LinkFlap          = chaos.LinkFlap
+	MemoryPressure    = chaos.MemoryPressure
+	InvalidationChaos = chaos.InvalidationChaos
+	ResolverSlowdown  = chaos.ResolverSlowdown
+	ChaosCallback     = chaos.Callback
+
+	// ChaosScenario is a canned adversarial run with pass/fail invariants;
+	// ChaosReport is its outcome.
+	ChaosScenario = chaos.Scenario
+	ChaosReport   = chaos.Report
+)
+
+// NewChaosPlan builds a fault-injection plan; pass it to WithChaos.
+func NewChaosPlan(faults ...ChaosFault) *ChaosPlan { return chaos.NewPlan(faults...) }
+
+// ArmChaos binds a plan to explicit targets, for simulations assembled
+// without the Cluster facade. Arming is deterministic: one RNG split per
+// fault, in plan order.
+func ArmChaos(p *ChaosPlan, t ChaosTargets) *ChaosInjector { return chaos.Arm(p, t) }
+
+// ChaosScenarios lists the canned adversarial scenarios.
+func ChaosScenarios() []ChaosScenario { return chaos.Scenarios() }
+
+// RunChaosScenario runs one scenario by name with the given seed and
+// returns its report (also reachable as `npfbench -chaos NAME`).
+func RunChaosScenario(name string, seed int64) (*ChaosReport, error) {
+	return chaos.RunScenario(name, seed)
 }

@@ -6,9 +6,9 @@ import "testing"
 // setups (this is what the examples rely on).
 
 func TestClusterQuickstartFlow(t *testing.T) {
-	cluster := NewCluster(1, InfiniBandFabric())
-	a := cluster.NewHost("a", 8<<30)
-	b := cluster.NewHost("b", 8<<30)
+	cluster := NewCluster(WithSeed(1), WithFabric(InfiniBandFabric()))
+	a := cluster.NewHost("a")
+	b := cluster.NewHost("b")
 	src := a.NewProcess("src", nil)
 	src.MapBytes(1 << 20)
 	dst := b.NewProcess("dst", nil)
@@ -34,16 +34,16 @@ func TestClusterQuickstartFlow(t *testing.T) {
 }
 
 func TestClusterEthernetChannelODP(t *testing.T) {
-	cluster := NewCluster(2, EthernetFabric())
-	server := cluster.NewHost("server", 8<<30)
-	client := cluster.NewHost("client", 8<<30)
+	cluster := NewCluster(WithSeed(2)) // Ethernet is the default fabric
+	server := cluster.NewHost("server")
+	client := cluster.NewHost("client")
 
 	sAS := server.NewProcess("srv", nil)
-	sCh := server.OpenChannel("srv", sAS, 64, PolicyBackup)
+	sCh := server.OpenChannel(sAS, WithRingSize(64), WithPolicy(PolicyBackup))
 	sStack := NewStack(sCh, DefaultTCPConfig())
 
 	cAS := client.NewProcess("cli", nil)
-	cCh := client.OpenChannel("cli", cAS, 64, PolicyPinned)
+	cCh := client.OpenChannel(cAS, WithRingSize(64), WithPolicy(PolicyPinned))
 	cStack := NewStack(cCh, DefaultTCPConfig())
 	if _, err := StaticPinAll(cAS, cCh.Domain); err != nil {
 		t.Fatal(err)
@@ -64,8 +64,8 @@ func TestClusterEthernetChannelODP(t *testing.T) {
 }
 
 func TestClusterMemoryGroup(t *testing.T) {
-	cluster := NewCluster(3, EthernetFabric())
-	h := cluster.NewHost("h", 1<<30)
+	cluster := NewCluster(WithSeed(3), WithFabric(EthernetFabric()))
+	h := cluster.NewHost("h", WithRAM(1<<30))
 	cg := NewMemGroup("container", 16*PageSize)
 	p := h.NewProcess("p", cg)
 	p.MapBytes(1 << 20)
@@ -78,8 +78,8 @@ func TestClusterMemoryGroup(t *testing.T) {
 }
 
 func TestPinDownCacheFacade(t *testing.T) {
-	cluster := NewCluster(4, InfiniBandFabric())
-	h := cluster.NewHost("h", 1<<30)
+	cluster := NewCluster(WithSeed(4), WithFabric(InfiniBandFabric()))
+	h := cluster.NewHost("h", WithRAM(1<<30))
 	as := h.NewProcess("p", nil)
 	as.MapBytes(16 << 20)
 	qp := h.OpenPinnedQP(as)
@@ -94,9 +94,9 @@ func TestPinDownCacheFacade(t *testing.T) {
 
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() (uint64, Time) {
-		cluster := NewCluster(99, InfiniBandFabric())
-		a := cluster.NewHost("a", 8<<30)
-		b := cluster.NewHost("b", 8<<30)
+		cluster := NewCluster(WithSeed(99), WithFabric(InfiniBandFabric()))
+		a := cluster.NewHost("a")
+		b := cluster.NewHost("b")
 		src := a.NewProcess("src", nil)
 		src.MapBytes(8 << 20)
 		dst := b.NewProcess("dst", nil)
@@ -116,5 +116,113 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	e2, t2 := run()
 	if e1 != e2 || t1 != t2 {
 		t.Fatalf("non-deterministic: (%d,%v) vs (%d,%v)", e1, t1, e2, t2)
+	}
+}
+
+// The deprecated positional shims must keep building the same setups as the
+// options they forward to.
+func TestDeprecatedShimsStillWork(t *testing.T) {
+	cluster := NewClusterSeed(5, EthernetFabric())
+	h := cluster.NewHostRAM("h", 1<<30)
+	as := h.NewProcess("p", nil)
+	as.MapBytes(1 << 20)
+	ch := h.OpenChannelRing("p", as, 64, PolicyBackup)
+	if ch == nil || ch.Dev != h.NIC {
+		t.Fatal("shim-built channel not wired to the host NIC")
+	}
+	if got := int64(1 << 30); h.Machine.RAM.Limit != got {
+		t.Fatalf("RAM = %d, want %d", h.Machine.RAM.Limit, got)
+	}
+}
+
+// A cluster-level chaos plan arms before any host exists; faults must still
+// land on devices and drivers added afterwards (late-bound targets).
+func TestClusterChaosLateBinding(t *testing.T) {
+	run := func() (uint64, uint64) {
+		plan := NewChaosPlan(
+			LossBurst{At: 500 * Microsecond, Duration: 4 * Millisecond, Prob: 0.25},
+		)
+		cluster := NewCluster(WithSeed(6), WithChaos(plan))
+		if cluster.Tracer == nil {
+			t.Fatal("WithChaos must imply tracing")
+		}
+		server := cluster.NewHost("server")
+		client := cluster.NewHost("client")
+
+		sAS := server.NewProcess("srv", nil)
+		sCh := server.OpenChannel(sAS, WithRingSize(64))
+		sStack := NewStack(sCh, DefaultTCPConfig())
+
+		cAS := client.NewProcess("cli", nil)
+		cCh := client.OpenChannel(cAS, WithPolicy(PolicyPinned))
+		cStack := NewStack(cCh, DefaultTCPConfig())
+		if _, err := StaticPinAll(cAS, cCh.Domain); err != nil {
+			t.Fatal(err)
+		}
+
+		received := 0
+		sStack.Listen(func(c *Conn) {
+			c.OnMessage = func(payload any, n int) { received++ }
+		})
+		conn := cStack.Dial(sCh.Dev.Node, sCh.Flow)
+		const total = 50
+		for i := 0; i < total; i++ {
+			i := i
+			cluster.Eng.At(Time(1+i)*100*Microsecond, func() { conn.Send(2000, i) })
+		}
+		cluster.Eng.RunUntil(30 * Second)
+		if received != total {
+			t.Fatalf("received %d/%d under injected loss", received, total)
+		}
+		drops := cluster.Net.InjectedDrops.N
+		if drops == 0 {
+			t.Fatal("cluster-level plan injected no drops on late-added hosts")
+		}
+		return drops, cluster.Tracer.Digest()
+	}
+	d1, g1 := run()
+	d2, g2 := run()
+	if d1 != d2 || g1 != g2 {
+		t.Fatalf("chaos run not deterministic: (%d,%#x) vs (%d,%#x)", d1, g1, d2, g2)
+	}
+}
+
+// A channel-level chaos plan scopes to that channel's driver only.
+func TestChannelScopedChaos(t *testing.T) {
+	plan := NewChaosPlan(
+		ResolverSlowdown{At: 0, Duration: 10 * Second, Extra: 50 * Microsecond},
+	)
+	cluster := NewCluster(WithSeed(8))
+	server := cluster.NewHost("server")
+	client := cluster.NewHost("client")
+
+	sAS := server.NewProcess("srv", nil)
+	sCh := server.OpenChannel(sAS, WithRingSize(64), WithChaos(plan))
+	sStack := NewStack(sCh, DefaultTCPConfig())
+
+	cAS := client.NewProcess("cli", nil)
+	cCh := client.OpenChannel(cAS, WithPolicy(PolicyPinned))
+	cStack := NewStack(cCh, DefaultTCPConfig())
+	if _, err := StaticPinAll(cAS, cCh.Domain); err != nil {
+		t.Fatal(err)
+	}
+
+	received := 0
+	sStack.Listen(func(c *Conn) {
+		c.OnMessage = func(payload any, n int) { received++ }
+	})
+	conn := cStack.Dial(sCh.Dev.Node, sCh.Flow)
+	for i := 0; i < 10; i++ {
+		conn.Send(4000, i)
+	}
+	cluster.Eng.RunUntil(10 * Second)
+	if received != 10 {
+		t.Fatalf("received %d/10 with a slowed resolver", received)
+	}
+	if server.Driver.NPFs.N == 0 {
+		t.Fatal("cold backup ring should have faulted")
+	}
+	if cluster.Tracer == nil {
+		t.Fatal("channel-level WithChaos must create a tracer")
 	}
 }

@@ -1,0 +1,110 @@
+package npf
+
+// ClusterOption configures NewCluster.
+type ClusterOption interface{ applyCluster(*clusterConfig) }
+
+// HostOption configures Cluster.NewHost.
+type HostOption interface{ applyHost(*hostConfig) }
+
+// ChannelOption configures Host.OpenChannel.
+type ChannelOption interface{ applyChannel(*channelConfig) }
+
+type clusterConfig struct {
+	seed   int64
+	fabric FabricConfig
+	trace  bool
+	plan   *ChaosPlan
+}
+
+type hostConfig struct {
+	ram    int64
+	driver DriverConfig
+}
+
+type channelConfig struct {
+	name     string
+	ringSize int
+	policy   FaultPolicy
+	plan     *ChaosPlan
+}
+
+type clusterOption func(*clusterConfig)
+
+func (f clusterOption) applyCluster(c *clusterConfig) { f(c) }
+
+type hostOption func(*hostConfig)
+
+func (f hostOption) applyHost(c *hostConfig) { f(c) }
+
+type channelOption func(*channelConfig)
+
+func (f channelOption) applyChannel(c *channelConfig) { f(c) }
+
+// WithSeed sets the cluster's deterministic RNG seed (default 1). Two
+// clusters built with the same seed and workload replay byte-identically.
+func WithSeed(seed int64) ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.seed = seed })
+}
+
+// WithFabric selects the fabric configuration (default EthernetFabric()).
+func WithFabric(cfg FabricConfig) ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.fabric = cfg })
+}
+
+// WithTracing attaches a Tracer to the cluster's engine and wires it
+// through every host built afterwards (drivers, machines, devices, HCAs).
+// The tracer is reachable as Cluster.Tracer.
+func WithTracing() ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.trace = true })
+}
+
+// WithRAM sets the host's physical memory in bytes (default 8 GiB).
+func WithRAM(bytes int64) HostOption {
+	return hostOption(func(c *hostConfig) { c.ram = bytes })
+}
+
+// WithDriverConfig overrides the host's NPF driver configuration (default
+// DefaultDriverConfig()).
+func WithDriverConfig(cfg DriverConfig) HostOption {
+	return hostOption(func(c *hostConfig) { c.driver = cfg })
+}
+
+// WithChannelName names the channel (default: the address space's name).
+func WithChannelName(name string) ChannelOption {
+	return channelOption(func(c *channelConfig) { c.name = name })
+}
+
+// WithRingSize sets the channel's RX descriptor ring size (default 256).
+func WithRingSize(n int) ChannelOption {
+	return channelOption(func(c *channelConfig) { c.ringSize = n })
+}
+
+// WithPolicy sets the channel's receive fault policy (default
+// PolicyBackup). Non-pinned policies get on-demand paging through the
+// host's driver; PolicyPinned leaves residence to the caller
+// (StaticPinAll).
+func WithPolicy(p FaultPolicy) ChannelOption {
+	return channelOption(func(c *channelConfig) { c.policy = p })
+}
+
+// ChaosOption carries a fault-injection plan. It is accepted by both
+// NewCluster (the plan is armed against the whole cluster as hosts and
+// devices are added) and OpenChannel (the plan is armed against that
+// channel's device, driver, and address space only).
+type ChaosOption struct{ plan *ChaosPlan }
+
+func (o ChaosOption) applyCluster(c *clusterConfig) { c.plan = o.plan }
+func (o ChaosOption) applyChannel(c *channelConfig) { c.plan = o.plan }
+
+// WithChaos injects the given fault plan; see the chaos re-exports
+// (ChaosPlan, FirmwareStall, LossBurst, GilbertElliott, LinkFlap,
+// MemoryPressure, InvalidationChaos, ResolverSlowdown) for the faults a
+// plan can carry. Arming a plan implies tracing, so every injected fault
+// leaves a span and runs stay digest-comparable.
+func WithChaos(plan *ChaosPlan) ChaosOption { return ChaosOption{plan: plan} }
+
+// compile-time interface checks
+var (
+	_ ClusterOption = ChaosOption{}
+	_ ChannelOption = ChaosOption{}
+)

@@ -53,6 +53,24 @@ fi
 echo "== sweep runner race check =="
 go test -race -run 'TestRunParallel' ./internal/bench/
 
+# Chaos smoke matrix: every named fault-injection scenario must pass its
+# invariants (npfbench -chaos exits non-zero otherwise) under two seeds.
+echo "== chaos scenario matrix =="
+for seed in 1 7; do
+    go run ./cmd/npfbench -chaos all -seed "$seed" > /dev/null
+    echo "chaos matrix ok (seed $seed)"
+done
+
+# Deprecated-shim gate: the positional shims exist only for external users
+# mid-migration; first-party code (examples/, internal/, cmd/) must use the
+# functional-options API.
+echo "== deprecated shim usage gate =="
+if grep -rn --include='*.go' -E 'NewClusterSeed|NewHostRAM|OpenChannelRing' \
+    examples/ internal/ cmd/ | grep -v '_test.go'; then
+    echo "deprecated positional shims used in first-party code (use options API)" >&2
+    exit 1
+fi
+
 echo "== bench smoke =="
 go test -run 'XXX' -bench 'BenchmarkFaultPath|BenchmarkBackupReplay' -benchtime=1x ./internal/bench/
 
