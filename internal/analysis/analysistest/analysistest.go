@@ -1,0 +1,294 @@
+// Package analysistest runs go/analysis analyzers over small fixture
+// packages and checks their diagnostics against `// want` expectations —
+// the same contract as golang.org/x/tools/go/analysis/analysistest, which
+// GOROOT does not vendor, rebuilt on this repo's driver.
+//
+// Fixture layout mirrors the upstream convention:
+//
+//	internal/analysis/<name>/testdata/src/<importpath>/*.go
+//
+// A fixture file marks an expected diagnostic with a trailing comment on
+// the offending line:
+//
+//	start := time.Now() // want `time\.Now is nondeterministic`
+//
+// The comment may carry several quoted regular expressions; each must be
+// matched by a distinct diagnostic on that line. Lines without a want
+// comment must produce no diagnostics. Fixture packages may import each
+// other (resolved from testdata/src) and the standard library (resolved
+// from compiler export data via `go list -export`).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"npf/internal/analysis/driver"
+)
+
+// Run loads each fixture package from dir/src/<path> and applies the
+// analyzer, reporting expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	if err := analysis.Validate([]*analysis.Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	ld := &loader{
+		srcRoot: filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		pkgs:    make(map[string]*driver.Package),
+		parsed:  make(map[string]*parsedPkg),
+	}
+	for _, path := range paths {
+		if _, err := ld.parse(path); err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+	}
+	if err := ld.check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range paths {
+		pkg := ld.pkgs[path]
+		diags, err := driver.RunPackage(pkg, []*analysis.Analyzer{a}, "")
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		diffWants(t, ld.fset, pkg, diags)
+	}
+}
+
+// TestData returns the analyzer test's testdata directory, mirroring the
+// upstream helper.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+type parsedPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string // fixture-internal imports, in dependency order
+}
+
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	parsed  map[string]*parsedPkg
+	order   []*parsedPkg
+	std     []string
+	pkgs    map[string]*driver.Package
+}
+
+// parse reads a fixture package and, depth-first, the fixture packages it
+// imports, recording non-fixture imports for export-data resolution.
+func (ld *loader) parse(path string) (*parsedPkg, error) {
+	if p, ok := ld.parsed[path]; ok {
+		return p, nil
+	}
+	ld.parsed[path] = nil // cycle guard
+	dir := filepath.Join(ld.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &parsedPkg{path: path, dir: dir}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	imports := make(map[string]bool)
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, f)
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			imports[ipath] = true
+		}
+	}
+	// Visit imports in sorted order so fixture load (and therefore
+	// type-check error) order is deterministic — npflint's own maporder
+	// analyzer caught the unsorted version of this loop.
+	ipaths := make([]string, 0, len(imports))
+	for ipath := range imports {
+		ipaths = append(ipaths, ipath)
+	}
+	sort.Strings(ipaths)
+	for _, ipath := range ipaths {
+		if _, err := os.Stat(filepath.Join(ld.srcRoot, ipath)); err == nil {
+			if _, err := ld.parse(ipath); err != nil {
+				return nil, err
+			}
+			p.imports = append(p.imports, ipath)
+		} else {
+			ld.std = append(ld.std, ipath)
+		}
+	}
+	ld.parsed[path] = p
+	ld.order = append(ld.order, p) // dependencies precede dependents
+	return p, nil
+}
+
+// check type-checks every parsed fixture package in dependency order.
+func (ld *loader) check() error {
+	exports := make(map[string]string)
+	if len(ld.std) > 0 {
+		listed, err := driver.ListExports(ld.std)
+		if err != nil {
+			return err
+		}
+		exports = listed
+	}
+	imp := driver.NewExportImporter(ld.fset, exports)
+	for _, p := range ld.order {
+		info := driver.NewTypesInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		tpkg, err := conf.Check(p.path, ld.fset, p.files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking fixture %s: %v", p.path, err)
+		}
+		imp.Register(tpkg)
+		ld.pkgs[p.path] = &driver.Package{
+			ImportPath: p.path,
+			Dir:        p.dir,
+			Fset:       ld.fset,
+			Files:      p.files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		}
+	}
+	return nil
+}
+
+// wantRx is one unconsumed expectation.
+type wantRx struct {
+	rx       *regexp.Regexp
+	consumed bool
+}
+
+// diffWants matches diagnostics against the fixture's want comments.
+func diffWants(t *testing.T, fset *token.FileSet, pkg *driver.Package, diags []driver.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*wantRx) // "file:line" → expectations
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rxs, err := parseWant(c.Text)
+				if err != nil {
+					t.Errorf("%s: %v", fset.Position(c.Pos()), err)
+					continue
+				}
+				if rxs == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, rx := range rxs {
+					wants[key] = append(wants[key], &wantRx{rx: rx})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := trimCol(d.Pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.consumed && w.rx.MatchString(d.Message) {
+				w.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.consumed {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps from a `// want "rx" `+"`rx`"+` ...`
+// comment, or nil if the comment is not a want comment.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	rest, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		return nil, nil
+	}
+	var rxs []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			lit = rest[:end+2]
+			rest = rest[end+2:]
+		case '`':
+			end := strings.Index(rest[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern %q", rest)
+			}
+			lit = rest[:end+2]
+			rest = rest[end+2:]
+		default:
+			return nil, fmt.Errorf("malformed want pattern %q (expected quoted regexp)", rest)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern %s: %v", lit, err)
+		}
+		rx, err := regexp.Compile(unq)
+		if err != nil {
+			return nil, fmt.Errorf("want pattern %s: %v", lit, err)
+		}
+		rxs = append(rxs, rx)
+		rest = strings.TrimSpace(rest)
+	}
+	return rxs, nil
+}
+
+// trimCol turns "file:line:col" into "file:line".
+func trimCol(pos string) string {
+	if i := strings.LastIndex(pos, ":"); i >= 0 {
+		return pos[:i]
+	}
+	return pos
+}

@@ -1,0 +1,114 @@
+// Package detwall defines an analyzer that forbids wall-clock and other
+// nondeterminism sources in the simulation layers.
+//
+// Every result the simulator produces must be a pure function of (scenario,
+// seed): virtual time comes from sim.Engine, randomness from the engine's
+// seeded RNG splits. A single time.Now() or global math/rand draw silently
+// breaks byte-identical replay, so reaching for the host's clock, the global
+// rand source, or the process environment is banned in the root package and
+// internal/... — only cmd/ binaries (which report real elapsed time to
+// humans) and _test.go files are allowed, plus sites annotated
+// //npf:wallclock.
+package detwall
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"npf/internal/analysis/directive"
+)
+
+const Doc = `forbid wall-clock, global rand, and environment reads in sim layers
+
+Simulation code must be deterministic given (scenario, seed): virtual time
+comes from sim.Engine and randomness from engine-owned seeded RNGs. This
+analyzer flags uses of time.Now/Since/Sleep/..., the global math/rand
+source, and os.Getenv outside cmd/ and _test.go. Annotate intentional uses
+with //npf:wallclock.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "detwall",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// banned maps package path → banned function names. An empty set bans
+// every package-level function except those in allowedInPkg.
+var banned = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	},
+	"os": {
+		"Getenv": true, "LookupEnv": true, "Environ": true,
+	},
+	// The global source draws are banned; explicit constructors
+	// (rand.New, rand.NewSource, ...) remain available for seeded use.
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// allowedInPkg lists the explicitly-seeded constructors that stay legal in
+// the rand packages.
+var allowedInPkg = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if allowlistedPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		obj := pass.TypesInfo.Uses[id]
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return // methods are fine; only package-level sources are banned
+		}
+		names, banned := banned[fn.Pkg().Path()]
+		if !banned {
+			return
+		}
+		if names == nil {
+			if allowedInPkg[fn.Name()] {
+				return
+			}
+		} else if !names[fn.Name()] {
+			return
+		}
+		file := pass.Fset.Position(id.Pos()).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			return
+		}
+		if dirs.Allows(pass.Fset, "wallclock", id.Pos()) {
+			return
+		}
+		pass.Reportf(id.Pos(), "%s.%s is nondeterministic: sim layers must use virtual time / engine-owned RNG (annotate //npf:wallclock if intentional)",
+			fn.Pkg().Path(), fn.Name())
+	})
+	return nil, nil
+}
+
+// allowlistedPackage reports whether the package is a cmd/ binary, where
+// wall-clock reporting to humans is expected.
+func allowlistedPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return false
+}

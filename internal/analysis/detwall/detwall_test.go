@@ -1,0 +1,12 @@
+package detwall_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/detwall"
+)
+
+func TestDetwall(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detwall.Analyzer, "a", "cmd/tool")
+}

@@ -1,0 +1,13 @@
+// Package main is a cmd/ binary: reporting real elapsed time to humans is
+// allowlisted wholesale.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

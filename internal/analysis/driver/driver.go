@@ -1,0 +1,311 @@
+// Package driver loads Go packages and runs go/analysis analyzers over
+// them. It is a small, self-contained replacement for the parts of
+// golang.org/x/tools that GOROOT does not vendor (go/packages and the
+// multichecker): packages are discovered with `go list -deps -export
+// -json`, target packages are parsed and type-checked from source, and
+// their dependencies are resolved from the compiler's export data — the
+// same model `go vet` uses.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// Diagnostic is one analyzer finding, with its position resolved.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"` // file:line:col, file relative to the working directory when possible
+	Message  string `json:"message"`
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load runs `go list -deps -export -json patterns...` in dir (the module
+// root, or "" for the current directory) and returns the matched packages
+// — parsed and type-checked from source, with imports satisfied from
+// export data. Test files are not loaded; the analyzers treat _test.go as
+// allowlisted anyway.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkFromSource(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// ListExports resolves the packages (plus transitive dependencies) to
+// their compiler export data files via `go list -deps -export`.
+func ListExports(paths []string) (map[string]string, error) {
+	sorted := append([]string(nil), paths...)
+	sort.Strings(sorted)
+	listed, err := goList("", sorted)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return exports, nil
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+	}
+	return listed, nil
+}
+
+func checkFromSource(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map analyzers consume.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// exportImporter resolves imports from compiler export data files,
+// preferring packages already type-checked from source.
+type exportImporter struct {
+	gc  types.Importer
+	mem map[string]*types.Package
+}
+
+// NewExportImporter returns an importer that serves packages from mem
+// (when registered via Register) and otherwise reads gc export data files
+// from the exports map (import path → file), as produced by
+// `go list -export`.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{
+		gc:  importer.ForCompiler(fset, "gc", lookup),
+		mem: make(map[string]*types.Package),
+	}
+}
+
+// Register makes a source-checked package resolvable by later imports.
+func (ei *exportImporter) Register(pkg *types.Package) { ei.mem[pkg.Path()] = pkg }
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ei.mem[path]; ok {
+		return pkg, nil
+	}
+	return ei.gc.Import(path)
+}
+
+// Run executes the analyzers (and, first, their transitive requirements)
+// over each package and returns all diagnostics sorted by position. relDir
+// is the directory diagnostics' file names are made relative to ("" keeps
+// them absolute).
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer, relDir string) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(pkg, analyzers, relDir)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// RunPackage executes the analyzers over one package, running required
+// analyzers (e.g. the inspector) first and threading their results
+// through ResultOf.
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, relDir string) ([]Diagnostic, error) {
+	results := make(map[*analysis.Analyzer]interface{})
+	var diags []Diagnostic
+	var run func(a *analysis.Analyzer, report bool) error
+	ran := make(map[*analysis.Analyzer]bool)
+	run = func(a *analysis.Analyzer, report bool) error {
+		if ran[a] {
+			return nil
+		}
+		ran[a] = true
+		for _, req := range a.Requires {
+			if err := run(req, false); err != nil {
+				return err
+			}
+		}
+		resultOf := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			resultOf[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if !report {
+					return
+				}
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      formatPos(pkg.Fset, d.Pos, relDir),
+					Message:  d.Message,
+				})
+			},
+			ReadFile: os.ReadFile,
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		// Top-level analyzers report; requirement-only analyzers don't.
+		if err := run(a, true); err != nil {
+			return nil, err
+		}
+	}
+	return diags, nil
+}
+
+func formatPos(fset *token.FileSet, pos token.Pos, relDir string) string {
+	p := fset.Position(pos)
+	file := p.Filename
+	if relDir != "" {
+		if rel, err := filepath.Rel(relDir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column)
+}

@@ -1,0 +1,205 @@
+// Package maporder defines an analyzer that flags order-dependent
+// iteration over Go maps.
+//
+// Go randomizes map iteration order, so any map walk whose effects feed
+// simulation state, scheduled events, trace spans, or rendered output is a
+// replayability bug: two runs with the same seed diverge. The analyzer
+// flags every `for range` over a map unless the loop is one of the
+// provably order-invariant shapes below or carries an
+// //npf:orderinvariant annotation:
+//
+//   - key-collect loops (`ks = append(ks, k)`) whose slice is subsequently
+//     sorted in the same function — the canonical deterministic-walk idiom
+//   - pure map-to-map transfers (`m2[k] = ...`)
+//   - draining deletes (`delete(m, k)`)
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"npf/internal/analysis/directive"
+)
+
+const Doc = `flag order-dependent iteration over maps
+
+Map iteration order is randomized; loops whose effects reach sim state,
+events, trace spans, or output must sort keys first. Collect-then-sort,
+map-to-map transfer, and delete-only loops are recognized as safe; anything
+else needs an //npf:orderinvariant annotation.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		rs := n.(*ast.RangeStmt)
+		if _, ok := pass.TypesInfo.TypeOf(rs.X).Underlying().(*types.Map); !ok {
+			return true
+		}
+		if dirs.Allows(pass.Fset, "orderinvariant", rs.For) {
+			return true
+		}
+		switch classify(pass, rs, stack) {
+		case safe:
+			return true
+		case collectUnsorted:
+			pass.Reportf(rs.For, "map keys are collected but never sorted in this function; sort before use or annotate //npf:orderinvariant")
+		default:
+			pass.Reportf(rs.For, "iteration over map has order-dependent effects; sort the keys first or annotate //npf:orderinvariant")
+		}
+		return true
+	})
+	return nil, nil
+}
+
+type verdict int
+
+const (
+	unsafe verdict = iota
+	safe
+	collectUnsorted
+)
+
+// classify recognizes the order-invariant loop shapes.
+func classify(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) verdict {
+	stmts := rs.Body.List
+	// Unwrap a filtering if (`if n != "total" { ... }`) — a guard that
+	// skips some keys doesn't make the surviving per-key effect
+	// order-dependent.
+	for len(stmts) == 1 {
+		ifStmt, ok := stmts[0].(*ast.IfStmt)
+		if !ok || ifStmt.Else != nil || ifStmt.Init != nil {
+			break
+		}
+		stmts = ifStmt.Body.List
+	}
+	if len(stmts) != 1 {
+		return unsafe
+	}
+	switch st := stmts[0].(type) {
+	case *ast.ExprStmt:
+		// delete(m, k): removing every visited key is order-invariant.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && len(call.Args) == 2 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+					return safe
+				}
+			}
+		}
+	case *ast.AssignStmt:
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return unsafe
+		}
+		// m2[k] = ...: writing through a map index commutes across
+		// iterations (each key is visited once).
+		if ix, ok := st.Lhs[0].(*ast.IndexExpr); ok {
+			if _, ok := pass.TypesInfo.TypeOf(ix.X).Underlying().(*types.Map); ok {
+				return safe
+			}
+		}
+		// ks = append(ks, k): safe iff ks is sorted later in the function.
+		if obj := collectTarget(pass, st); obj != nil {
+			if sortedAfter(pass, enclosingFuncBody(stack), rs, obj) {
+				return safe
+			}
+			return collectUnsorted
+		}
+	}
+	return unsafe
+}
+
+// collectTarget returns the slice variable of a `ks = append(ks, ...)`
+// statement, or nil if st is not that shape.
+func collectTarget(pass *analysis.Pass, st *ast.AssignStmt) types.Object {
+	lhs, ok := st.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return nil
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	lobj := pass.TypesInfo.ObjectOf(lhs)
+	if lobj == nil || pass.TypesInfo.ObjectOf(dst) != lobj {
+		return nil
+	}
+	return lobj
+}
+
+// enclosingFuncBody returns the body of the innermost function literal or
+// declaration on the inspector stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices function
+// after pos within body.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos ast.Node, obj types.Object) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos.End() || found {
+			return !found
+		}
+		var fn *types.Func
+		switch callee := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			fn, _ = pass.TypesInfo.Uses[callee.Sel].(*types.Func)
+		case *ast.Ident:
+			fn, _ = pass.TypesInfo.Uses[callee].(*types.Func)
+		case *ast.IndexExpr: // explicit instantiation, e.g. slices.Sort[[]string]
+			if sel, ok := callee.X.(*ast.SelectorExpr); ok {
+				fn, _ = pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			}
+		}
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,65 @@
+// Package a exercises the maporder analyzer: map iteration order is
+// randomized, so order-dependent loop effects break deterministic replay.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func bad(m map[string]int) {
+	for k, v := range m { // want `iteration over map has order-dependent effects`
+		fmt.Println(k, v)
+	}
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	var ks []string
+	for k := range m { // want `map keys are collected but never sorted`
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func sortedWalk(m map[string]int) {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	for _, k := range ks {
+		fmt.Println(k, m[k])
+	}
+}
+
+func filteredCollect(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		if k != "total" {
+			ks = append(ks, k)
+		}
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func transfer(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+func annotated(m map[string]int) int {
+	sum := 0
+	//npf:orderinvariant — summation is commutative
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

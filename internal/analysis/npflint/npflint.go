@@ -1,0 +1,26 @@
+// Package npflint assembles the repo's determinism-contract analyzers
+// into one suite — the machine-checked form of the invariants every
+// figure reproduction, chaos invariant, and byte-identical parallel sweep
+// depends on. cmd/npflint runs it; scripts/ci.sh gates on it.
+package npflint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"npf/internal/analysis/detwall"
+	"npf/internal/analysis/maporder"
+	"npf/internal/analysis/optshim"
+	"npf/internal/analysis/simtime"
+	"npf/internal/analysis/tracesafe"
+)
+
+// Analyzers returns the npflint suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detwall.Analyzer,
+		maporder.Analyzer,
+		optshim.Analyzer,
+		simtime.Analyzer,
+		tracesafe.Analyzer,
+	}
+}

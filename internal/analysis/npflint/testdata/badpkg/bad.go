@@ -1,0 +1,19 @@
+// Package badpkg is a deliberately contract-violating package: the
+// npflint end-to-end test pins that the multichecker exits non-zero on
+// it (and zero on a clean package).
+package badpkg
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stamp leaks wall-clock time into "sim" state.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Dump walks a map straight into output.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,62 @@
+// Package optshim defines an analyzer that flags first-party use of the
+// deprecated positional constructor shims.
+//
+// The functional-options redesign (PR 3) kept NewClusterSeed, NewHostRAM,
+// and OpenChannelRing as shims for external users mid-migration, but
+// first-party code must use NewCluster/NewHost/OpenChannel with options.
+// This replaces the old grep gate in ci.sh: being type-aware, it is robust
+// to import aliasing, dot imports, and line-wrapping that grep was blind
+// to, and it skips _test.go files (which pin the shims' behavior on
+// purpose).
+package optshim
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+const Doc = `flag first-party use of deprecated positional constructor shims
+
+NewClusterSeed, NewHostRAM, and OpenChannelRing exist only for external
+users mid-migration; first-party code uses the functional-options API
+(NewCluster/NewHost/OpenChannel + With* options). _test.go files are
+exempt: they pin the shims' delegation behavior.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "optshim",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// shims maps deprecated constructor → its options-API replacement.
+var shims = map[string]string{
+	"NewClusterSeed":  "NewCluster(WithSeed(...))",
+	"NewHostRAM":      "NewHost(WithRAM(...))",
+	"OpenChannelRing": "OpenChannel(WithRingSize(...))",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
+		id := n.(*ast.Ident)
+		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "npf" {
+			return
+		}
+		repl, deprecated := shims[fn.Name()]
+		if !deprecated {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(id.Pos()).Filename, "_test.go") {
+			return
+		}
+		pass.Reportf(id.Pos(), "%s is a deprecated positional shim; use %s", fn.Name(), repl)
+	})
+	return nil, nil
+}

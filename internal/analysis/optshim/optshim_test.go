@@ -1,0 +1,12 @@
+package optshim_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/optshim"
+)
+
+func TestOptshim(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), optshim.Analyzer, "a")
+}

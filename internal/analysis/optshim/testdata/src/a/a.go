@@ -1,0 +1,22 @@
+// Package a exercises the optshim analyzer: first-party code must not use
+// the deprecated positional shims, however the import is spelled.
+package a
+
+import (
+	"npf"
+
+	renamed "npf"
+)
+
+func bad() {
+	c := npf.NewClusterSeed(7)        // want `NewClusterSeed is a deprecated positional shim`
+	h := renamed.NewHostRAM(c, 1<<30) // want `NewHostRAM is a deprecated positional shim`
+	_ = renamed.
+		OpenChannelRing(h, 256) // want `OpenChannelRing is a deprecated positional shim`
+}
+
+func good() {
+	c := npf.NewCluster(npf.WithSeed(7))
+	h := npf.NewHost(c)
+	_ = npf.OpenChannel(h)
+}

@@ -1,0 +1,6 @@
+package a
+
+import "npf"
+
+// Tests pin the shims' delegation behavior on purpose; they are exempt.
+func shimStillDelegates() *npf.Cluster { return npf.NewClusterSeed(7) }

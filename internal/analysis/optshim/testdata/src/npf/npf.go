@@ -1,0 +1,25 @@
+// Package npf stands in for the root package: positional constructor
+// shims kept for external migration, plus the functional-options API.
+package npf
+
+type Cluster struct{}
+type Host struct{}
+type Channel struct{}
+type Option func(*Cluster)
+
+func WithSeed(seed int64) Option { return func(*Cluster) {} }
+
+func NewCluster(opts ...Option) *Cluster { return &Cluster{} }
+
+// Deprecated: use NewCluster(WithSeed(seed)).
+func NewClusterSeed(seed int64) *Cluster { return NewCluster(WithSeed(seed)) }
+
+func NewHost(c *Cluster) *Host { return &Host{} }
+
+// Deprecated: use NewHost with WithRAM.
+func NewHostRAM(c *Cluster, ram int64) *Host { return NewHost(c) }
+
+func OpenChannel(h *Host) *Channel { return &Channel{} }
+
+// Deprecated: use OpenChannel with WithRingSize.
+func OpenChannelRing(h *Host, ring int) *Channel { return OpenChannel(h) }

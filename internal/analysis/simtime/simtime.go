@@ -1,0 +1,139 @@
+// Package simtime defines an analyzer that keeps wall-clock-shaped types
+// out of simulation-layer APIs.
+//
+// The simulator's unit of time is sim.Time (virtual nanoseconds). A
+// time.Duration or time.Time in a signature inside
+// internal/{sim,core,nic,iommu,rc,tcp,fabric,mem} invites callers to feed
+// host time into the simulation, so those signatures must use sim.Time.
+// The deliberate conversion boundary (e.g. sim.Duration) is annotated
+// //npf:realtime.
+package simtime
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"npf/internal/analysis/directive"
+)
+
+const Doc = `forbid time.Duration/time.Time in sim-layer signatures
+
+Packages internal/{sim,core,nic,iommu,rc,tcp,fabric,mem} express time as
+sim.Time (virtual nanoseconds). Signatures carrying time.Duration or
+time.Time invite wall-clock values into the simulation; convert at the
+boundary instead. Annotate intentional converters with //npf:realtime.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "simtime",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// simLayer matches the import paths whose APIs must use sim.Time.
+var simLayer = regexp.MustCompile(`(^|/)internal/(sim|core|nic|iommu|rc|tcp|fabric|mem)(/|$)`)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !simLayer.MatchString(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if dirs.Allows(pass.Fset, "realtime", decl.Pos()) || docAllows(decl) {
+			return
+		}
+		check := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				t := pass.TypesInfo.TypeOf(field.Type)
+				if name := wallClockType(t); name != "" {
+					pass.Reportf(field.Type.Pos(), "%s in the signature of %s: sim-layer APIs take sim.Time, convert wall-clock values at the boundary (annotate //npf:realtime if this is the boundary)",
+						name, decl.Name.Name)
+				}
+			}
+		}
+		check(decl.Type.Params)
+		check(decl.Type.Results)
+	})
+	return nil, nil
+}
+
+// docAllows reports whether the decl's doc comment carries //npf:realtime.
+func docAllows(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if c.Text == directive.Prefix+"realtime" {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockType reports the first time.Duration/time.Time reachable inside
+// t ("" if none), looking through pointers, containers, and struct/func
+// shapes.
+func wallClockType(t types.Type) string {
+	seen := make(map[types.Type]bool)
+	var visit func(t types.Type) string
+	visit = func(t types.Type) string {
+		if t == nil || seen[t] {
+			return ""
+		}
+		seen[t] = true
+		t = types.Unalias(t)
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				if obj.Name() == "Duration" || obj.Name() == "Time" {
+					return "time." + obj.Name()
+				}
+			}
+			return "" // other named types are their own API decision
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			return visit(u.Elem())
+		case *types.Slice:
+			return visit(u.Elem())
+		case *types.Array:
+			return visit(u.Elem())
+		case *types.Chan:
+			return visit(u.Elem())
+		case *types.Map:
+			if s := visit(u.Key()); s != "" {
+				return s
+			}
+			return visit(u.Elem())
+		case *types.Signature:
+			for i := 0; i < u.Params().Len(); i++ {
+				if s := visit(u.Params().At(i).Type()); s != "" {
+					return s
+				}
+			}
+			for i := 0; i < u.Results().Len(); i++ {
+				if s := visit(u.Results().At(i).Type()); s != "" {
+					return s
+				}
+			}
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if s := visit(u.Field(i).Type()); s != "" {
+					return s
+				}
+			}
+		}
+		return ""
+	}
+	return visit(t)
+}

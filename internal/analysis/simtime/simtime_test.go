@@ -1,0 +1,13 @@
+package simtime_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/simtime"
+)
+
+func TestSimtime(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), simtime.Analyzer,
+		"npf/internal/nic", "npf/internal/bench")
+}

@@ -1,0 +1,7 @@
+// Package bench is outside the sim-layer set, so wall-clock-shaped
+// signatures are its own business.
+package bench
+
+import "time"
+
+func Elapsed(d time.Duration) float64 { return d.Seconds() }

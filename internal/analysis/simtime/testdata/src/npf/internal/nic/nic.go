@@ -1,0 +1,25 @@
+// Package nic stands in for a sim-layer package: its APIs must express
+// time as sim.Time (virtual nanoseconds), never wall-clock types.
+package nic
+
+import "time"
+
+type Time int64
+
+func Bad(timeout time.Duration) {} // want `time\.Duration in the signature of Bad`
+
+func BadResult() time.Time { // want `time\.Time in the signature of BadResult`
+	return time.Time{}
+}
+
+func BadNested(cfg struct{ Poll []time.Duration }) {} // want `time\.Duration in the signature of BadNested`
+
+func Good(timeout Time) {}
+
+// Duration is this package's sanctioned conversion boundary.
+//
+//npf:realtime
+func Duration(d time.Duration) Time { return Time(d) }
+
+//npf:realtime
+func Eta() time.Time { return time.Time{} }

@@ -1,0 +1,39 @@
+// Package a exercises the tracesafe analyzer: outside package trace,
+// tracer fields may only be touched under an Enabled() guard.
+package a
+
+import "npf/internal/trace"
+
+func bad(tr *trace.Tracer) {
+	tr.MaxSpans = 4      // want `direct field access on \*trace\.Tracer panics when tracing is disabled`
+	if tr.MaxSpans > 0 { // want `direct field access on \*trace\.Tracer panics when tracing is disabled`
+		return
+	}
+}
+
+func badElse(tr *trace.Tracer) {
+	if tr.Enabled() {
+		return
+	} else if true {
+		tr.MaxSpans = 4 // want `direct field access on \*trace\.Tracer panics when tracing is disabled`
+	}
+}
+
+func guarded(tr *trace.Tracer) {
+	if tr.Enabled() {
+		tr.MaxSpans = 4
+	}
+	if tr != nil && tr.Enabled() {
+		if tr.MaxSpans == 0 {
+			tr.MaxSpans = 8
+		}
+	}
+}
+
+func viaMethod(tr *trace.Tracer) {
+	tr.SetMaxSpans(4) // nil-safe wrapper: always fine
+}
+
+func annotated(tr *trace.Tracer) {
+	tr.MaxSpans = 4 //npf:tracesafe — caller guarantees an enabled tracer
+}

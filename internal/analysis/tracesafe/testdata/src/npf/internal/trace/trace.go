@@ -1,0 +1,16 @@
+// Package trace stands in for the telemetry package: a nil *Tracer is the
+// disabled state, methods are nil-safe, raw field access is not.
+package trace
+
+type Tracer struct {
+	MaxSpans int
+}
+
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	t.MaxSpans = n
+}

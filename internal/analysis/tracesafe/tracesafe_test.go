@@ -1,0 +1,15 @@
+package tracesafe_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/tracesafe"
+)
+
+func TestTracesafe(t *testing.T) {
+	// The fake trace package is listed too: the analyzer must skip the
+	// package that owns the representation.
+	analysistest.Run(t, analysistest.TestData(), tracesafe.Analyzer,
+		"a", "npf/internal/trace")
+}

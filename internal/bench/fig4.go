@@ -62,6 +62,7 @@ func (r *Fig4aResult) Render() string {
 	var b strings.Builder
 	b.WriteString("Figure 4(a): startup throughput [KTPS, scaled] vs time, 64-entry cold ring\n")
 	maxRate := 0.0
+	//npf:orderinvariant — max over all points is commutative
 	for _, pts := range r.Series {
 		for _, p := range pts {
 			if p[1] > maxRate {

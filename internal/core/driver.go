@@ -548,6 +548,7 @@ func (d *Driver) HandleRxNPF(entries []nic.RxNPFEntry) {
 // packet is awaiting resolution (the "no stuck rings" chaos invariant).
 func (d *Driver) PendingBackupWork() int {
 	n := 0
+	//npf:orderinvariant — counting queued work is commutative
 	for _, st := range d.chans {
 		n += len(st.q)
 		if st.busy {

@@ -1,6 +1,10 @@
 package mem
 
-import "npf/internal/sim"
+import (
+	"sort"
+
+	"npf/internal/sim"
+)
 
 // This file implements the canonical memory optimizations from the paper's
 // Table 1 that interact with device DMA beyond plain demand paging: fork
@@ -37,7 +41,17 @@ func (as *AddressSpace) Fork(name string, cgroup *Group) (*AddressSpace, sim.Tim
 	child.mappedPages = as.mappedPages
 	child.MemlockLimit = as.MemlockLimit
 	var cost sim.Time
-	for pn, p := range as.pages {
+	// Walk pages in sorted order: the write-protect notifiers below reach
+	// the driver, which can schedule engine events (e.g. chaos-duplicated
+	// invalidations) — map order would reorder same-timestamp events and
+	// break replay.
+	pns := make([]PageNum, 0, len(as.pages))
+	for pn := range as.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		p := as.pages[pn]
 		if !p.present {
 			continue
 		}

@@ -35,6 +35,9 @@ const (
 const Forever Time = math.MaxInt64
 
 // Duration converts a standard library duration into a virtual time span.
+// It is the one sanctioned wall-clock-type boundary in the sim layers.
+//
+//npf:realtime
 func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
 // Seconds reports t as floating-point seconds, for human-readable output.

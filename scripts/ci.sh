@@ -12,6 +12,23 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== go mod tidy / verify =="
+# The only dependency (golang.org/x/tools, the go/analysis framework) is
+# served from the checked-in file proxy under third_party/goproxy, so
+# module hygiene is verifiable fully offline. Builds never need this env:
+# they use the vendor/ directory.
+(
+    export GOPROXY="file://$PWD/third_party/goproxy" GOSUMDB=off
+    go mod tidy
+    go mod verify
+    go mod vendor
+)
+if ! git diff --quiet go.mod go.sum vendor/; then
+    echo "go.mod/go.sum/vendor drift: run go mod tidy && go mod vendor with the third_party/goproxy GOPROXY" >&2
+    git --no-pager diff --stat go.mod go.sum vendor/ >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
 
@@ -61,15 +78,13 @@ for seed in 1 7; do
     echo "chaos matrix ok (seed $seed)"
 done
 
-# Deprecated-shim gate: the positional shims exist only for external users
-# mid-migration; first-party code (examples/, internal/, cmd/) must use the
-# functional-options API.
-echo "== deprecated shim usage gate =="
-if grep -rn --include='*.go' -E 'NewClusterSeed|NewHostRAM|OpenChannelRing' \
-    examples/ internal/ cmd/ | grep -v '_test.go'; then
-    echo "deprecated positional shims used in first-party code (use options API)" >&2
-    exit 1
-fi
+# npflint: the determinism contracts (no wall clock in sim layers, no
+# order-dependent map walks, sim.Time-only signatures, nil-safe tracer
+# access, no deprecated positional shims) as a hard machine-checked gate.
+# The optshim analyzer subsumes the old grep-based deprecated-shim gate and
+# is robust to import aliasing and line wrapping.
+echo "== npflint =="
+go run ./cmd/npflint ./...
 
 echo "== bench smoke =="
 go test -run 'XXX' -bench 'BenchmarkFaultPath|BenchmarkBackupReplay' -benchtime=1x ./internal/bench/
