@@ -22,6 +22,9 @@ type Cluster struct {
 	// Tracer is non-nil when the cluster was built with WithTracing or
 	// WithChaos; it is wired through every host built afterwards.
 	Tracer *Tracer
+	// Sampler is non-nil when the cluster was built with WithSampling; it
+	// snapshots all metrics every interval of virtual time.
+	Sampler *Sampler
 
 	injector *chaos.Injector
 }
@@ -37,6 +40,9 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 	c := &Cluster{Eng: eng, Net: fabric.New(eng, cfg.fabric)}
 	if cfg.trace || cfg.plan != nil {
 		c.Tracer = trace.New(eng)
+	}
+	if cfg.sampleEvery > 0 {
+		c.Sampler = c.Tracer.StartSampler(cfg.sampleEvery)
 	}
 	if cfg.plan != nil {
 		// Arm now; hosts and devices created later register themselves with

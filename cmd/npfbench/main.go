@@ -15,6 +15,12 @@
 //	-trace      write a Chrome trace_event JSON (load in Perfetto /
 //	            about:tracing) covering every engine the selected
 //	            experiments build
+//	-series     write deterministic metric time-series CSV sampled on the
+//	            virtual clock (one section per engine, content-sorted so
+//	            the file is byte-identical for any -parallel N); render
+//	            with `npfstat -render FILE`
+//	-sample-every  sampling interval in virtual time for -series
+//	            (default 10ms)
 //	-chaos      run a named fault-injection scenario instead of the paper
 //	            experiments ("all" runs the whole catalogue; "list" prints
 //	            it); exits non-zero if any invariant fails
@@ -79,6 +85,17 @@ type expResult struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// seriesSummary condenses the -series capture into the -json artifact: the
+// digest is the order-invariant fold of every engine's series digest, so
+// two runs of the same seed must agree on it for any -parallel N.
+type seriesSummary struct {
+	Engines    int    `json:"engines"`
+	Samples    int    `json:"samples"`
+	Metrics    int    `json:"metrics"`
+	IntervalNs int64  `json:"interval_ns"`
+	Digest     string `json:"digest"`
+}
+
 // benchArtifact is the top-level -json document.
 type benchArtifact struct {
 	GoVersion   string                  `json:"go_version"`
@@ -86,6 +103,7 @@ type benchArtifact struct {
 	Parallel    int                     `json:"parallel"`
 	Quick       bool                    `json:"quick"`
 	EngineBench bench.EngineBenchResult `json:"engine_bench"`
+	Series      *seriesSummary          `json:"series,omitempty"`
 	Experiments []expResult             `json:"experiments"`
 }
 
@@ -95,9 +113,16 @@ func main() {
 	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
+	seriesOut := flag.String("series", "", "write sampled metric time-series CSV to this file")
+	sampleEvery := flag.Duration("sample-every", 10*time.Millisecond, "virtual-time sampling interval for -series")
 	chaosName := flag.String("chaos", "", "run a fault-injection scenario (name, \"all\", or \"list\")")
 	seed := flag.Int64("seed", 1, "RNG seed for -chaos runs")
 	flag.Parse()
+
+	if *seriesOut != "" && *sampleEvery <= 0 {
+		fmt.Fprintln(os.Stderr, "-sample-every must be positive")
+		os.Exit(2)
+	}
 
 	if *chaosName != "" {
 		os.Exit(runChaos(*chaosName, *seed))
@@ -109,12 +134,17 @@ func main() {
 	bench.Workers = *parallel
 
 	var tracers []*trace.Tracer
-	if *traceOut != "" {
+	if *traceOut != "" || *seriesOut != "" {
 		// Engines are built on worker goroutines under -parallel, so the
 		// factory must be safe for concurrent calls.
+		interval := sim.Duration(*sampleEvery)
+		withSeries := *seriesOut != ""
 		var mu sync.Mutex
 		bench.TraceFactory = func(eng *sim.Engine) *trace.Tracer {
 			tr := trace.New(eng)
+			if withSeries {
+				tr.StartSampler(interval)
+			}
 			mu.Lock()
 			tracers = append(tracers, tr)
 			mu.Unlock()
@@ -213,6 +243,46 @@ func main() {
 		}
 		artifact.Experiments = append(artifact.Experiments, row)
 		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, wall.Round(time.Millisecond), out)
+	}
+
+	if *seriesOut != "" {
+		var set []*trace.Series
+		for _, tr := range tracers {
+			// Engines that finished inside the first interval with no
+			// metrics registered produce empty sections; skip them.
+			if s := tr.Sampler().Series(); s != nil && len(s.Names) > 0 {
+				set = append(set, s)
+			}
+		}
+		f, err := os.Create(*seriesOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "series: %v\n", err)
+			os.Exit(1)
+		}
+		if err := trace.WriteSeriesSet(f, set); err != nil {
+			fmt.Fprintf(os.Stderr, "series: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "series: %v\n", err)
+			os.Exit(1)
+		}
+		samples, names := 0, map[string]bool{}
+		for _, s := range set {
+			samples += len(s.Times)
+			for _, n := range s.Names {
+				names[n] = true
+			}
+		}
+		artifact.Series = &seriesSummary{
+			Engines:    len(set),
+			Samples:    samples,
+			Metrics:    len(names),
+			IntervalNs: int64(sim.Duration(*sampleEvery)),
+			Digest:     fmt.Sprintf("%016x", trace.DigestSeries(set)),
+		}
+		fmt.Printf("series: wrote %d samples across %d engines (%d metrics) to %s\n",
+			samples, len(set), len(names), *seriesOut)
 	}
 
 	if *jsonOut != "" {

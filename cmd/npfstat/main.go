@@ -1,0 +1,311 @@
+// Command npfstat inspects npfbench artifacts: it renders the deterministic
+// time-series CSV written by `npfbench -series` as terminal sparklines, and
+// diffs two `-json` result files with per-metric relative-delta thresholds
+// and a pass/fail verdict — the regression gate CI runs against
+// BENCH_baseline.json.
+//
+// Render a run's dynamics:
+//
+//	npfstat -render out.csv
+//
+// Diff a run against a baseline (two spellings):
+//
+//	npfstat -baseline BENCH_baseline.json out.json
+//	npfstat BENCH_baseline.json out.json
+//
+// Diff semantics: structural drift — an experiment in the current run that
+// the baseline has never seen, an engine-count mismatch, an event-count
+// delta beyond -count-tol, or an allocs/op regression in the engine
+// microbenchmark — is a hard failure (exit 1). Wall-clock and
+// events-per-second deltas are machine-load noise and only warn, unless
+// -fail-on-timing promotes them. Exit codes: 0 pass, 1 fail, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"npf/internal/trace"
+)
+
+// expRow mirrors npfbench's per-experiment artifact row.
+type expRow struct {
+	Name         string  `json:"name"`
+	WallMs       float64 `json:"wall_ms"`
+	Engines      int     `json:"engines"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// artifact mirrors the npfbench -json document (fields npfstat reads).
+type artifact struct {
+	GoVersion   string `json:"go_version"`
+	Quick       bool   `json:"quick"`
+	EngineBench struct {
+		NsPerOp      float64 `json:"ns_per_op"`
+		AllocsPerOp  int64   `json:"allocs_per_op"`
+		EventsPerSec float64 `json:"events_per_sec"`
+	} `json:"engine_bench"`
+	Series *struct {
+		Engines int    `json:"engines"`
+		Samples int    `json:"samples"`
+		Metrics int    `json:"metrics"`
+		Digest  string `json:"digest"`
+	} `json:"series,omitempty"`
+	Experiments []expRow `json:"experiments"`
+}
+
+func readArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(a.Experiments) == 0 {
+		return nil, fmt.Errorf("%s: no experiments (not an npfbench -json artifact?)", path)
+	}
+	return &a, nil
+}
+
+// verdict classifies one compared metric.
+type verdict int
+
+const (
+	vOK verdict = iota
+	vWarn
+	vFail
+)
+
+func (v verdict) String() string {
+	switch v {
+	case vWarn:
+		return "warn"
+	case vFail:
+		return "FAIL"
+	}
+	return "ok"
+}
+
+// row is one line of the delta table.
+type row struct {
+	scope  string // experiment name, "engine", or "series"
+	metric string
+	base   string
+	cur    string
+	delta  string
+	v      verdict
+	note   string
+}
+
+// relDelta returns (cur-base)/base, treating a zero base specially.
+func relDelta(base, cur float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cur - base) / base
+}
+
+func fmtDelta(d float64) string {
+	if math.IsInf(d, 0) {
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", d*100)
+}
+
+// diffConfig holds the gate thresholds.
+type diffConfig struct {
+	countTol     float64 // hard-fail threshold on deterministic counts
+	timingTol    float64 // warn threshold on wall-clock metrics
+	failOnTiming bool    // promote timing warnings to failures
+}
+
+// diff compares cur against base and returns the table plus overall pass.
+func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
+	var rows []row
+	pass := true
+	fail := func(r row) {
+		r.v = vFail
+		pass = false
+		rows = append(rows, r)
+	}
+	timing := func(scope, metric string, b, c float64) {
+		d := relDelta(b, c)
+		r := row{scope: scope, metric: metric,
+			base: fmt.Sprintf("%.1f", b), cur: fmt.Sprintf("%.1f", c), delta: fmtDelta(d)}
+		if math.Abs(d) > cfg.timingTol {
+			r.v = vWarn
+			r.note = "timing (load-dependent)"
+			if cfg.failOnTiming {
+				r.v = vFail
+				pass = false
+			}
+		}
+		rows = append(rows, r)
+	}
+
+	byName := make(map[string]*expRow, len(base.Experiments))
+	for i := range base.Experiments {
+		byName[base.Experiments[i].Name] = &base.Experiments[i]
+	}
+	for i := range cur.Experiments {
+		c := &cur.Experiments[i]
+		b, ok := byName[c.Name]
+		if !ok {
+			fail(row{scope: c.Name, metric: "presence", base: "-", cur: "present",
+				delta: "new", note: "experiment not in baseline"})
+			continue
+		}
+		// Engines and events are deterministic given a seed: drift here is
+		// a structural/behavioural change, not noise.
+		r := row{scope: c.Name, metric: "engines",
+			base: fmt.Sprint(b.Engines), cur: fmt.Sprint(c.Engines), delta: fmtDelta(relDelta(float64(b.Engines), float64(c.Engines)))}
+		if c.Engines != b.Engines {
+			fail(r)
+		} else {
+			rows = append(rows, r)
+		}
+		d := relDelta(float64(b.Events), float64(c.Events))
+		r = row{scope: c.Name, metric: "events",
+			base: fmt.Sprint(b.Events), cur: fmt.Sprint(c.Events), delta: fmtDelta(d)}
+		if math.Abs(d) > cfg.countTol {
+			r.note = fmt.Sprintf("beyond count-tol %.2f", cfg.countTol)
+			fail(r)
+		} else {
+			rows = append(rows, r)
+		}
+		timing(c.Name, "wall_ms", b.WallMs, c.WallMs)
+		timing(c.Name, "events_per_sec", b.EventsPerSec, c.EventsPerSec)
+	}
+
+	if base.EngineBench.NsPerOp > 0 || cur.EngineBench.NsPerOp > 0 {
+		timing("engine", "ns_per_op", base.EngineBench.NsPerOp, cur.EngineBench.NsPerOp)
+		r := row{scope: "engine", metric: "allocs_per_op",
+			base: fmt.Sprint(base.EngineBench.AllocsPerOp), cur: fmt.Sprint(cur.EngineBench.AllocsPerOp),
+			delta: fmtDelta(relDelta(float64(base.EngineBench.AllocsPerOp), float64(cur.EngineBench.AllocsPerOp)))}
+		if cur.EngineBench.AllocsPerOp > base.EngineBench.AllocsPerOp {
+			r.note = "allocation regression"
+			fail(r)
+		} else {
+			rows = append(rows, r)
+		}
+	}
+
+	if cur.Series != nil {
+		r := row{scope: "series", metric: "digest", cur: cur.Series.Digest, base: "-"}
+		if base.Series != nil {
+			r.base = base.Series.Digest
+			if base.Series.Digest != cur.Series.Digest {
+				// Digests legitimately change whenever any instrumented
+				// subsystem changes behaviour; flag, don't fail.
+				r.v = vWarn
+				r.note = "series changed (informational)"
+			}
+		} else {
+			r.note = "baseline has no series"
+		}
+		rows = append(rows, r)
+	}
+	return rows, pass
+}
+
+// writeTable renders the delta table with aligned columns.
+func writeTable(w io.Writer, rows []row) {
+	fmt.Fprintf(w, "%-10s %-16s %16s %16s %8s  %-4s %s\n",
+		"scope", "metric", "baseline", "current", "delta", "", "")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-16s %16s %16s %8s  %-4s %s\n",
+			r.scope, r.metric, r.base, r.cur, r.delta, r.v, r.note)
+	}
+}
+
+// render loads a -series CSV and prints each section as sparklines.
+func render(path string, width int) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npfstat: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	set, err := trace.ReadSeriesSet(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npfstat: %v\n", err)
+		return 2
+	}
+	if len(set) == 0 {
+		fmt.Fprintf(os.Stderr, "npfstat: %s: no series sections\n", path)
+		return 2
+	}
+	for i, s := range set {
+		if len(s.Times) == 0 {
+			continue
+		}
+		fmt.Printf("-- section %d/%d --\n", i+1, len(set))
+		s.WriteSparklines(os.Stdout, width)
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("npfstat", flag.ContinueOnError)
+	renderPath := fs.String("render", "", "render a -series CSV as terminal sparklines")
+	width := fs.Int("width", 60, "sparkline width for -render")
+	baseline := fs.String("baseline", "", "baseline -json artifact to diff against")
+	countTol := fs.Float64("count-tol", 0.05, "hard-fail threshold on relative event-count delta")
+	timingTol := fs.Float64("timing-tol", 0.5, "warn threshold on relative wall-clock deltas")
+	failOnTiming := fs.Bool("fail-on-timing", false, "treat timing warnings as failures")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *renderPath != "" {
+		return render(*renderPath, *width)
+	}
+
+	var basePath, curPath string
+	switch rest := fs.Args(); {
+	case *baseline != "" && len(rest) == 1:
+		basePath, curPath = *baseline, rest[0]
+	case *baseline == "" && len(rest) == 2:
+		basePath, curPath = rest[0], rest[1]
+	default:
+		fmt.Fprintln(os.Stderr, "usage: npfstat [-render series.csv] | [-baseline base.json] cur.json | base.json cur.json")
+		return 2
+	}
+
+	base, err := readArtifact(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npfstat: %v\n", err)
+		return 2
+	}
+	cur, err := readArtifact(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npfstat: %v\n", err)
+		return 2
+	}
+
+	rows, pass := diff(base, cur, diffConfig{
+		countTol: *countTol, timingTol: *timingTol, failOnTiming: *failOnTiming,
+	})
+	fmt.Printf("npfstat: %s (baseline) vs %s\n", basePath, curPath)
+	writeTable(os.Stdout, rows)
+	if !pass {
+		fmt.Println("verdict: FAIL")
+		return 1
+	}
+	fmt.Println("verdict: PASS")
+	return 0
+}

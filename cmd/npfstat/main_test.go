@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkArtifact(events uint64, engines int, wall float64, allocs int64) *artifact {
+	a := &artifact{}
+	a.EngineBench.NsPerOp = 14
+	a.EngineBench.AllocsPerOp = allocs
+	a.Experiments = []expRow{{
+		Name: "fig3", WallMs: wall, Engines: engines, Events: events, EventsPerSec: 1e6,
+	}}
+	return a
+}
+
+var defCfg = diffConfig{countTol: 0.05, timingTol: 0.5}
+
+func TestDiffPassesOnIdenticalRuns(t *testing.T) {
+	base := mkArtifact(1000, 3, 50, 0)
+	cur := mkArtifact(1000, 3, 50, 0)
+	rows, pass := diff(base, cur, defCfg)
+	if !pass {
+		t.Fatalf("identical runs fail:\n%+v", rows)
+	}
+	for _, r := range rows {
+		if r.v != vOK {
+			t.Fatalf("row %s/%s verdict %v, want ok", r.scope, r.metric, r.v)
+		}
+	}
+}
+
+func TestDiffHardFailures(t *testing.T) {
+	base := mkArtifact(1000, 3, 50, 0)
+	for name, cur := range map[string]*artifact{
+		"event drift beyond tol": mkArtifact(1100, 3, 50, 0),
+		"engine mismatch":        mkArtifact(1000, 4, 50, 0),
+		"alloc regression":       mkArtifact(1000, 3, 50, 2),
+	} {
+		if _, pass := diff(base, cur, defCfg); pass {
+			t.Fatalf("%s: expected hard failure", name)
+		}
+	}
+	// Unknown experiment: structural drift.
+	cur := mkArtifact(1000, 3, 50, 0)
+	cur.Experiments[0].Name = "fig99"
+	if _, pass := diff(base, cur, defCfg); pass {
+		t.Fatal("unknown experiment passed the gate")
+	}
+}
+
+func TestDiffTimingOnlyWarns(t *testing.T) {
+	base := mkArtifact(1000, 3, 50, 0)
+	cur := mkArtifact(1000, 3, 500, 0) // 10x wall clock: noisy machine
+	rows, pass := diff(base, cur, defCfg)
+	if !pass {
+		t.Fatal("timing delta hard-failed without -fail-on-timing")
+	}
+	warned := false
+	for _, r := range rows {
+		if r.metric == "wall_ms" && r.v == vWarn {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no timing warning emitted:\n%+v", rows)
+	}
+	if _, pass := diff(base, cur, diffConfig{countTol: 0.05, timingTol: 0.5, failOnTiming: true}); pass {
+		t.Fatal("-fail-on-timing did not promote the warning")
+	}
+}
+
+func TestDiffCountWithinTolPasses(t *testing.T) {
+	base := mkArtifact(1000, 3, 50, 0)
+	cur := mkArtifact(1030, 3, 50, 0) // +3% < 5% tolerance
+	if _, pass := diff(base, cur, defCfg); !pass {
+		t.Fatal("in-tolerance event drift failed the gate")
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	if d := relDelta(100, 110); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("relDelta = %v, want 0.1", d)
+	}
+	if d := relDelta(0, 0); d != 0 {
+		t.Fatalf("relDelta(0,0) = %v, want 0", d)
+	}
+	if d := relDelta(0, 5); !math.IsInf(d, 1) {
+		t.Fatalf("relDelta(0,5) = %v, want +Inf", d)
+	}
+}
+
+func TestWriteTableAligned(t *testing.T) {
+	var b bytes.Buffer
+	writeTable(&b, []row{{scope: "fig3", metric: "events", base: "10", cur: "10", delta: "+0.0%", v: vOK}})
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "scope") {
+		t.Fatalf("table shape:\n%s", b.String())
+	}
+}
+
+// TestRunEndToEnd drives the CLI surface: diff two artifact files on disk
+// and check the exit codes.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := `{"engine_bench":{"ns_per_op":14,"allocs_per_op":0},"experiments":[{"name":"fig3","wall_ms":50,"engines":3,"events":1000,"events_per_sec":1e6}]}`
+	drifted := `{"engine_bench":{"ns_per_op":14,"allocs_per_op":0},"experiments":[{"name":"fig3","wall_ms":50,"engines":3,"events":2000,"events_per_sec":1e6}]}`
+	base := write("base.json", good)
+	same := write("same.json", good)
+	bad := write("bad.json", drifted)
+
+	if code := run([]string{base, same}); code != 0 {
+		t.Fatalf("identical diff exit = %d, want 0", code)
+	}
+	if code := run([]string{"-baseline", base, same}); code != 0 {
+		t.Fatalf("-baseline spelling exit = %d, want 0", code)
+	}
+	if code := run([]string{base, bad}); code != 1 {
+		t.Fatalf("drifted diff exit = %d, want 1", code)
+	}
+	if code := run([]string{base}); code != 2 {
+		t.Fatalf("usage error exit = %d, want 2", code)
+	}
+	if code := run([]string{base, write("empty.json", `{}`)}); code != 2 {
+		t.Fatalf("malformed artifact exit = %d, want 2", code)
+	}
+
+	series := write("series.csv", "# series interval_ns=1000 samples=2 metrics=1\ntime_us,m.a\n0,1\n1,2\n")
+	if code := run([]string{"-render", series}); code != 0 {
+		t.Fatalf("render exit = %d, want 0", code)
+	}
+	if code := run([]string{"-render", filepath.Join(dir, "missing.csv")}); code != 2 {
+		t.Fatalf("render missing-file exit = %d, want 2", code)
+	}
+}

@@ -37,3 +37,40 @@ func viaMethod(tr *trace.Tracer) {
 func annotated(tr *trace.Tracer) {
 	tr.MaxSpans = 4 //npf:tracesafe — caller guarantees an enabled tracer
 }
+
+func badGauge(tr *trace.Tracer) {
+	g := tr.Gauge("x")
+	g.V = 3      // want `direct field access on \*trace\.Gauge panics when tracing is disabled`
+	if g.V > 1 { // want `direct field access on \*trace\.Gauge panics when tracing is disabled`
+		return
+	}
+}
+
+func goodGauge(tr *trace.Tracer) {
+	g := tr.Gauge("x")
+	g.Set(3) // nil-safe method: always fine
+	_ = g.Value()
+	if tr.Enabled() {
+		g.V = 3 // guarded: the tracer (and thus the handle) is non-nil
+	}
+}
+
+func badSampler(tr *trace.Tracer) {
+	s := tr.StartSampler(10)
+	s.MaxSamples = 4      // want `direct field access on \*trace\.Sampler panics when tracing is disabled`
+	if s.MaxSamples > 0 { // want `direct field access on \*trace\.Sampler panics when tracing is disabled`
+		return
+	}
+}
+
+func goodSampler(tr *trace.Tracer) {
+	s := tr.StartSampler(10)
+	s.SetMaxSamples(4) // nil-safe wrapper: always fine
+	if tr.Enabled() {
+		s.MaxSamples = 8
+	}
+}
+
+func annotatedSampler(s *trace.Sampler) {
+	s.MaxSamples = 4 //npf:tracesafe — caller guarantees an enabled tracer
+}

@@ -1,5 +1,6 @@
 // Package trace stands in for the telemetry package: a nil *Tracer is the
-// disabled state, methods are nil-safe, raw field access is not.
+// disabled state, methods are nil-safe, raw field access is not. The same
+// contract covers the handle types (Gauge, Sampler, ...) a tracer returns.
 package trace
 
 type Tracer struct {
@@ -13,4 +14,46 @@ func (t *Tracer) SetMaxSpans(n int) {
 		return
 	}
 	t.MaxSpans = n
+}
+
+func (t *Tracer) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return &Gauge{}
+}
+
+func (t *Tracer) StartSampler(interval int64) *Sampler {
+	if t == nil {
+		return nil
+	}
+	return &Sampler{}
+}
+
+type Gauge struct {
+	V float64
+}
+
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.V = v
+	}
+}
+
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.V
+}
+
+type Sampler struct {
+	MaxSamples int
+}
+
+func (s *Sampler) SetMaxSamples(n int) {
+	if s == nil {
+		return
+	}
+	s.MaxSamples = n
 }

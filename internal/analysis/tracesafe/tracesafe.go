@@ -3,11 +3,13 @@
 //
 // A disabled tracer is a nil *trace.Tracer: every method is nil-safe, so
 // instrumented hot paths cost one pointer comparison when tracing is off.
-// Direct field access (t.MaxSpans = ...) breaks that contract — it panics
-// on the nil tracer the moment tracing is disabled. Outside package trace,
-// tracer fields may only be touched under an Enabled() guard (or an
-// explicit //npf:tracesafe annotation); everything else goes through the
-// nil-safe methods.
+// The same contract covers every handle type the tracer hands out — Counter,
+// Gauge, LatencyHist, and Sampler are all nil when obtained from a disabled
+// tracer. Direct field access (t.MaxSpans = ..., s.MaxSamples = ...) breaks
+// that contract — it panics the moment tracing is disabled. Outside package
+// trace, fields of these types may only be touched under an Enabled() guard
+// (or an explicit //npf:tracesafe annotation); everything else goes through
+// the nil-safe methods.
 package tracesafe
 
 import (
@@ -26,8 +28,9 @@ import (
 const Doc = `require nil-safe tracer access outside package trace
 
 A nil *trace.Tracer is the disabled state; methods are nil-safe but raw
-field access panics. Guard direct field access with Enabled() or annotate
-//npf:tracesafe.`
+field access panics. The same holds for every handle the tracer hands out
+(Counter, Gauge, LatencyHist, Sampler). Guard direct field access with
+Enabled() or annotate //npf:tracesafe.`
 
 var Analyzer = &analysis.Analyzer{
 	Name:     "tracesafe",
@@ -52,7 +55,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if !ok || selection.Kind() != types.FieldVal {
 			return true
 		}
-		if !isTracer(selection.Recv()) {
+		name, ok := traceHandle(selection.Recv())
+		if !ok {
 			return true
 		}
 		if dirs.Allows(pass.Fset, "tracesafe", sel.Pos()) {
@@ -61,29 +65,54 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if guardedByEnabled(pass, stack, sel.Pos()) {
 			return true
 		}
-		pass.Reportf(sel.Pos(), "direct field access on *trace.Tracer panics when tracing is disabled (nil tracer); guard with Enabled() or use the nil-safe methods")
+		noun := "handle"
+		if name == "Tracer" {
+			noun = "tracer"
+		}
+		pass.Reportf(sel.Pos(), "direct field access on *trace.%s panics when tracing is disabled (nil %s); guard with Enabled() or use the nil-safe methods", name, noun)
 		return true
 	})
 	return nil, nil
 }
 
-// isTracer reports whether t is trace.Tracer or *trace.Tracer, for any
-// package named/aliased trace (the root package re-exports the type).
-func isTracer(t types.Type) bool {
+// handleTypes is the set of trace types whose handles are nil when tracing
+// is disabled: raw field access on any of them panics on the nil-safe path.
+var handleTypes = map[string]bool{
+	"Tracer":      true,
+	"Counter":     true,
+	"Gauge":       true,
+	"LatencyHist": true,
+	"Sampler":     true,
+}
+
+// traceHandle reports whether t is one of the trace handle types (or a
+// pointer to one), for any package named/aliased trace (the root package
+// re-exports them), returning the type name.
+func traceHandle(t types.Type) (string, bool) {
 	t = types.Unalias(t)
 	if p, ok := t.(*types.Pointer); ok {
 		t = types.Unalias(p.Elem())
 	}
 	named, ok := t.(*types.Named)
 	if !ok {
-		return false
+		return "", false
 	}
 	obj := named.Obj()
-	if obj.Name() != "Tracer" || obj.Pkg() == nil {
-		return false
+	if !handleTypes[obj.Name()] || obj.Pkg() == nil {
+		return "", false
 	}
 	path := obj.Pkg().Path()
-	return path == "trace" || strings.HasSuffix(path, "/trace")
+	if path == "trace" || strings.HasSuffix(path, "/trace") {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// isTracer reports whether t is specifically trace.Tracer or *trace.Tracer
+// (the only type carrying the Enabled() guard method).
+func isTracer(t types.Type) bool {
+	name, ok := traceHandle(t)
+	return ok && name == "Tracer"
 }
 
 // guardedByEnabled reports whether pos sits in the body of an enclosing if

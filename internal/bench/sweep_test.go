@@ -1,8 +1,13 @@
 package bench
 
 import (
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+
+	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // withWorkers runs fn with the package-level Workers fan-out temporarily set
@@ -83,6 +88,53 @@ func TestRunParallelAblateDeterminism(t *testing.T) {
 	withWorkers(8, func() { fanned = RunAblate().Render() })
 	if serial != fanned {
 		t.Fatalf("ablate output depends on Workers:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, fanned)
+	}
+}
+
+// captureSeries runs a sweep with a sampling trace factory installed and
+// returns the rendered WriteSeriesSet stream — the byte string the series
+// determinism pins compare across worker counts.
+func captureSeries(t *testing.T, workers int, run func()) string {
+	t.Helper()
+	old := TraceFactory
+	defer func() { TraceFactory = old }()
+	var mu sync.Mutex
+	var tracers []*trace.Tracer
+	TraceFactory = func(eng *sim.Engine) *trace.Tracer {
+		tr := trace.New(eng)
+		tr.StartSampler(100 * sim.Microsecond)
+		mu.Lock()
+		tracers = append(tracers, tr)
+		mu.Unlock()
+		return tr
+	}
+	withWorkers(workers, run)
+	var set []*trace.Series
+	for _, tr := range tracers {
+		if s := tr.Sampler().Series(); s != nil && len(s.Names) > 0 {
+			set = append(set, s)
+		}
+	}
+	if len(set) == 0 {
+		t.Fatal("no series captured — did the sweep build any engines?")
+	}
+	var b strings.Builder
+	if err := trace.WriteSeriesSet(&b, set); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunParallelSeriesDeterminism extends the sweep runner's byte-identity
+// promise to time-series output: the content-sorted WriteSeriesSet stream
+// (and its order-invariant digest) must not depend on the worker count,
+// even though engines — and thus samplers — register in scheduling order.
+func TestRunParallelSeriesDeterminism(t *testing.T) {
+	opts := Fig3Opts{Trials: 6, Replicas: 2}
+	serial := captureSeries(t, 1, func() { RunFig3Opts(opts) })
+	fanned := captureSeries(t, 8, func() { RunFig3Opts(opts) })
+	if serial != fanned {
+		t.Fatalf("series output depends on Workers:\n--- workers=1 ---\n%.2000s\n--- workers=8 ---\n%.2000s", serial, fanned)
 	}
 }
 

@@ -18,6 +18,25 @@ import (
 // hanging a wedged scenario.
 const maxScenarioEvents = 200_000_000
 
+// SampleEvery, when positive, starts a time-series sampler on every
+// scenario testbed's tracer with this virtual-time interval; the sampled
+// series lands in Report.Series. Like bench.TraceFactory it is a
+// process-wide knob set before running scenarios, not per-run state.
+var SampleEvery sim.Time
+
+// seriesCSV renders a tracer's sampled series (empty when sampling is off).
+func seriesCSV(tr *trace.Tracer) string {
+	s := tr.Sampler().Series()
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	if err := trace.WriteSeriesSet(&b, []*trace.Series{s}); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
 // Report is the outcome of one scenario run: pass/fail per invariant plus
 // the headline numbers and the trace digest the determinism checks compare.
 type Report struct {
@@ -29,6 +48,10 @@ type Report struct {
 	// Digest condenses every span and metric of the run; identical seeds
 	// must produce identical digests (byte-identical replay).
 	Digest uint64
+
+	// Series is the sampled time-series CSV of the run (empty unless
+	// SampleEvery was set); same-seed replays must agree byte-for-byte.
+	Series string
 
 	Sent             int
 	Delivered        int
@@ -190,6 +213,9 @@ func newEthEnv(seed int64, ringSize int, dcfg core.Config, cgroupLimit int64) *e
 	cch := cDev.NewChannel("client", cAS, 256, nic.PolicyPinned, 256)
 	e.client = tcp.NewStack(cch, tcp.DefaultConfig())
 	warmStack(e.client)
+	if SampleEvery > 0 {
+		tr.StartSampler(SampleEvery)
+	}
 	return e
 }
 
@@ -241,6 +267,7 @@ func ethTraffic(e *ethEnv, r *Report, msgs, msgBytes int, start, gap, horizon si
 	}
 	end := e.eng.RunUntil(horizon)
 
+	r.Series = seriesCSV(e.tr)
 	r.Digest = e.tr.Digest()
 	r.NPFs = e.drv.NPFs.N
 	r.InjectedDrops = e.net.InjectedDrops.N
@@ -373,6 +400,9 @@ func runLinkFlap(seed int64) *Report {
 	drvB.SetTracer(tr)
 	drvA.AttachHCA(hcaA)
 	drvB.AttachHCA(hcaB)
+	if SampleEvery > 0 {
+		tr.StartSampler(SampleEvery)
+	}
 	asA, asB := ma.NewAddressSpace("a", nil), mb.NewAddressSpace("b", nil)
 	asA.MapBytes(64 << 20)
 	asB.MapBytes(64 << 20)
@@ -410,6 +440,7 @@ func runLinkFlap(seed int64) *Report {
 	_ = ij
 
 	end := eng.RunUntil(120 * sim.Second)
+	r.Series = seriesCSV(tr)
 	r.Digest = tr.Digest()
 	r.NPFs = drvB.NPFs.N
 	r.Retransmits = hcaA.Retransmits.N + hcaB.Retransmits.N

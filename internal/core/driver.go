@@ -180,6 +180,11 @@ type Driver struct {
 	DegradedPins     sim.Counter
 	InvDuplicates    sim.Counter
 
+	// outstanding counts NPFs currently being serviced: incremented when a
+	// fault first enters serveFault, decremented when its pages commit.
+	// Retries (resolver timeout, OOM backoff) keep the fault outstanding.
+	outstanding int
+
 	// Fault-injection hooks (nil = no injection).
 	resolver ResolverInjector
 	inval    InvalidationInjector
@@ -223,6 +228,12 @@ func (d *Driver) SetTracer(tr *trace.Tracer) {
 	d.lResume = tr.Latency("core.npf_resume_us")
 	d.lTotal = tr.Latency("core.npf_total_us")
 	d.lInv = tr.Latency("core.inv_mapped_us")
+	tr.Probe("core.outstanding_npfs", func() float64 {
+		return float64(d.outstanding)
+	})
+	tr.Probe("core.backup_queue_depth", func() float64 {
+		return float64(d.PendingBackupWork())
+	})
 }
 
 // NewDriver creates a driver.
@@ -393,6 +404,9 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 	attempt int, done func(), retry func()) {
 	now := d.Eng.Now()
 	trigger := now - start
+	if attempt == 0 {
+		d.outstanding++
+	}
 	root := parent
 	if d.tr.Enabled() && root == 0 {
 		// No device-side span: synthesize the root and its firmware stage
@@ -479,6 +493,7 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		}
 	}
 	d.Eng.After(sw, func() {
+		d.outstanding--
 		hw := d.faultCommit(as, dom, pages, write)
 		d.Hist.record(trigger, sw, hw, resumeCost)
 		d.lTrigger.Observe(trigger)

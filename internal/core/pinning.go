@@ -84,6 +84,19 @@ func (c *PinDownCache) SetTracer(tr *trace.Tracer) {
 	c.cHits = tr.Counter("pin.cache_hits")
 	c.cMiss = tr.Counter("pin.cache_misses")
 	c.cEvict = tr.Counter("pin.cache_evictions")
+	tr.Probe("pin.pinned_bytes", func() float64 {
+		return float64(c.PinnedBytes())
+	})
+	// Probes under one name sum, so with several caches on one tracer this
+	// column reads as summed per-cache hit rates (divide by the cache count
+	// when interpreting); single-cache setups read it directly as a ratio.
+	tr.Probe("pin.cache_hit_rate", func() float64 {
+		total := c.Hits.N + c.Misses.N
+		if total == 0 {
+			return 0
+		}
+		return float64(c.Hits.N) / float64(total)
+	})
 }
 
 // NewPinDownCache creates a cache bounding pinned memory to capacity bytes.

@@ -91,6 +91,7 @@ func (m *Machine) NewAddressSpace(name string, cgroup *Group) *AddressSpace {
 	for _, g := range as.groups {
 		g.addMember(as)
 	}
+	m.spaces = append(m.spaces, as)
 	return as
 }
 

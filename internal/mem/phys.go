@@ -162,6 +162,10 @@ type Machine struct {
 	Swap  *SwapDevice
 	Costs Costs
 
+	// spaces lists every address space created on this machine, in
+	// creation order — the walk set for machine-wide residency probes.
+	spaces []*AddressSpace
+
 	// Metric handles (nil = disabled; nil handles are inert).
 	cMinor *trace.Counter
 	cMajor *trace.Counter
@@ -171,13 +175,28 @@ type Machine struct {
 }
 
 // SetTracer mirrors machine-wide paging activity (across every address
-// space on the machine) into the metrics registry. Safe to call with nil.
+// space on the machine) into the metrics registry, and registers the
+// residency probes the sampler snapshots each tick. Safe to call with nil.
 func (m *Machine) SetTracer(tr *trace.Tracer) {
 	m.cMinor = tr.Counter("mem.minor_faults")
 	m.cMajor = tr.Counter("mem.major_faults")
 	m.cEvict = tr.Counter("mem.evictions")
 	m.cInval = tr.Counter("mem.invalidations")
 	m.lFault = tr.Latency("mem.fault_us")
+	tr.Probe("mem.resident_pages", func() float64 {
+		sum := 0.0
+		for _, as := range m.spaces {
+			sum += float64(as.ResidentBytes() / PageSize)
+		}
+		return sum
+	})
+	tr.Probe("mem.pinned_bytes", func() float64 {
+		sum := 0.0
+		for _, as := range m.spaces {
+			sum += float64(as.PinnedBytes())
+		}
+		return sum
+	})
 }
 
 // NewMachine returns a machine with ramBytes of physical memory and a

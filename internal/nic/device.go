@@ -195,9 +195,31 @@ func (d *Device) SetNPFSink(s NPFSink) { d.sink = s }
 // SetTracer wires telemetry into the device and its on-NIC IOMMU. The
 // device opens the root span of each NPF at fault-detection time and
 // threads it to the driver through the fault event. Safe to call with nil.
+// It also registers the device's time-series probes: ring occupancy, backup
+// residency, and firmware fault-queue depth — the transients the paper's
+// Fig. 7 and the chaos scenarios reason about.
 func (d *Device) SetTracer(tr *trace.Tracer) {
 	d.Tracer = tr
 	d.MMU.SetTracer(tr)
+	tr.Probe("nic.backup_ring_len", func() float64 {
+		return float64(d.Backup.Len())
+	})
+	tr.Probe("nic.rx_ring_occupancy", func() float64 {
+		sum := 0.0
+		//npf:orderinvariant — summing per-channel occupancy is commutative
+		for _, ch := range d.channels {
+			sum += float64(ch.Rx.Posted())
+		}
+		return sum
+	})
+	tr.Probe("nic.fault_queue_depth", func() float64 {
+		sum := 0.0
+		//npf:orderinvariant — summing per-channel fault backlogs is commutative
+		for _, ch := range d.channels {
+			sum += float64(ch.Rx.PendingFaults()) + float64(len(ch.Rx.inflight))
+		}
+		return sum
+	})
 }
 
 // SetFaultDelayHook installs a transformation on the sampled firmware

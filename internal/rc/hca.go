@@ -213,6 +213,16 @@ func (h *HCA) SetTracer(tr *trace.Tracer) {
 	h.cRNR = tr.Counter("rc.rnr_nacks")
 	h.cRetx = tr.Counter("rc.retransmits")
 	h.cRwnd = tr.Counter("rc.read_rewinds")
+	tr.Probe("rc.rnr_suspended_qps", func() float64 {
+		n := 0.0
+		//npf:orderinvariant — counting suspended QPs is commutative
+		for _, qp := range h.qps {
+			if qp.rnrWait {
+				n++
+			}
+		}
+		return n
+	})
 }
 
 // SetFaultDelayHook installs a transformation on the sampled firmware

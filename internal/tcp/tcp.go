@@ -167,6 +167,14 @@ func NewStack(ch *nic.Channel, cfg Config) *Stack {
 	s.cTimeouts = s.tr.Counter("tcp.timeouts")
 	s.cFastRetx = s.tr.Counter("tcp.fast_retx")
 	s.cFail = s.tr.Counter("tcp.failures")
+	s.tr.Probe("tcp.inflight_segs", func() float64 {
+		sum := 0.0
+		//npf:orderinvariant — summing per-connection windows is commutative
+		for _, c := range s.conns {
+			sum += float64(len(c.inflight))
+		}
+		return sum
+	})
 	bufBytes := int64(mem.PageSize)
 	ringSize := ch.Rx.Size()
 	s.rxBufBase = ch.AS.MapBytes(int64(ringSize) * bufBytes)

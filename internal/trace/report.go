@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"npf/internal/sim"
@@ -132,8 +133,28 @@ func StageBreakdown(spans []Span, rootCat string) map[string]*sim.Histogram {
 	return out
 }
 
+// safeHist shields report rendering from nil map entries: callers may build
+// stage maps by hand (tests, tools) and a nil *Histogram must render as an
+// empty one, not panic.
+func safeHist(h *sim.Histogram) *sim.Histogram {
+	if h == nil {
+		return &sim.Histogram{}
+	}
+	return h
+}
+
+// finite scrubs NaN and infinities to 0 so report tables and ratios stay
+// printable even if a histogram was fed pathological samples.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
 // WriteStageTable renders a StageBreakdown as a fixed-width percentile
-// table, stages sorted by name with "total" last.
+// table, stages sorted by name with "total" last. Empty maps render as a
+// header-only table; nil histograms render as zero rows.
 func WriteStageTable(w io.Writer, stages map[string]*sim.Histogram) {
 	names := make([]string, 0, len(stages))
 	for n := range stages {
@@ -148,28 +169,30 @@ func WriteStageTable(w io.Writer, stages map[string]*sim.Histogram) {
 	fmt.Fprintf(w, "%-14s %8s %10s %10s %10s %10s %10s\n",
 		"stage", "n", "mean_us", "p50_us", "p95_us", "p99_us", "max_us")
 	for _, n := range names {
-		h := stages[n]
+		h := safeHist(stages[n])
 		fmt.Fprintf(w, "%-14s %8d %10.1f %10.1f %10.1f %10.1f %10.1f\n",
-			n, h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+			n, h.Count(), finite(h.Mean()), finite(h.Percentile(50)),
+			finite(h.Percentile(95)), finite(h.Percentile(99)), finite(h.Max()))
 	}
 }
 
 // HardwareShare computes the fraction of mean NPF time spent in
 // hardware-side stages (firmware detection, page-table update, resume) —
 // the quantity the paper's Fig. 3a reports as ≈90% at 4 KB. Returns 0 if
-// there is no total.
+// there is no total, the total is empty (avoiding a 0/0 NaN), or the map
+// holds only nil/zero-count histograms.
 func HardwareShare(stages map[string]*sim.Histogram) float64 {
-	tot, ok := stages["total"]
-	if !ok || tot.Count() == 0 || tot.Mean() == 0 {
+	tot := safeHist(stages["total"])
+	if tot.Count() == 0 || tot.Mean() == 0 {
 		return 0
 	}
 	hw := 0.0
 	for _, n := range []string{"firmware", "update", "resume"} {
-		if h, ok := stages[n]; ok && h.Count() > 0 {
+		if h := safeHist(stages[n]); h.Count() > 0 {
 			// Sum of per-fault means: stages may not appear on every
 			// fault, so weight by occurrence count relative to totals.
 			hw += h.Mean() * float64(h.Count()) / float64(tot.Count())
 		}
 	}
-	return hw / tot.Mean()
+	return finite(hw / tot.Mean())
 }

@@ -93,6 +93,11 @@ type Tracer struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	lats     map[string]*LatencyHist
+
+	// probes are read-only gauge callbacks evaluated at every sampler tick
+	// (see Probe); sampler is the singleton started by StartSampler.
+	probes  map[string][]func() float64
+	sampler *Sampler
 }
 
 // New returns an enabled tracer recording against eng's clock.

@@ -117,12 +117,19 @@ func TestNilTracerIsInert(t *testing.T) {
 	}
 }
 
+// zeroProbe is a package-level probe fn so the alloc tests below measure
+// the nil tracer's Probe path, not closure construction at the call site.
+func zeroProbe() float64 { return 0 }
+
 // TestTracerDisabledNoAlloc is the contract the instrumented hot paths rely
-// on: a disabled (nil) tracer allocates nothing.
+// on: a disabled (nil) tracer allocates nothing — including the sampler
+// surface, since SetTracer registers probes unconditionally.
 func TestTracerDisabledNoAlloc(t *testing.T) {
 	var tr *Tracer
 	c := tr.Counter("core.npfs")
+	g := tr.Gauge("nic.rx_ring_occupancy")
 	l := tr.Latency("core.npf_total_us")
+	s := tr.StartSampler(us(10))
 	allocs := testing.AllocsPerRun(1000, func() {
 		if tr.Enabled() {
 			t.Fatal("enabled")
@@ -132,8 +139,17 @@ func TestTracerDisabledNoAlloc(t *testing.T) {
 		tr.End(id)
 		c.Inc()
 		c.Add(3)
+		g.Set(5)
 		l.Observe(us(7))
 		tr.Count("core.npfs", 1)
+		tr.Probe("nic.rx_ring_occupancy", zeroProbe)
+		s.SetMaxSamples(4)
+		if s.Len() != 0 || s.Truncated() || s.Interval() != 0 || s.Series() != nil {
+			t.Fatal("nil sampler is not inert")
+		}
+		if tr.Sampler() != nil {
+			t.Fatal("nil tracer has a sampler")
+		}
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled tracer allocated %.1f per op, want 0", allocs)
@@ -143,14 +159,19 @@ func TestTracerDisabledNoAlloc(t *testing.T) {
 func BenchmarkTracerDisabled(b *testing.B) {
 	var tr *Tracer
 	c := tr.Counter("core.npfs")
+	g := tr.Gauge("nic.rx_ring_occupancy")
 	l := tr.Latency("core.npf_total_us")
+	s := tr.StartSampler(us(10))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		id := tr.Begin(0, "npf", "recv-rnpf")
 		tr.ArgInt(id, "pages", 4)
 		tr.End(id)
 		c.Inc()
+		g.Set(5)
 		l.Observe(us(7))
+		tr.Probe("nic.rx_ring_occupancy", zeroProbe)
+		s.SetMaxSamples(4)
 	}
 }
 

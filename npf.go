@@ -250,6 +250,11 @@ type (
 	Span   = trace.Span
 	SpanID = trace.SpanID
 	Arg    = trace.Arg
+	// Sampler snapshots all registered metrics every interval of virtual
+	// time (see WithSampling); Series is its exportable result, with CSV,
+	// JSON, OpenMetrics, and sparkline renderers.
+	Sampler = trace.Sampler
+	Series  = trace.Series
 )
 
 // NewTracer creates a tracer on eng. Components accept it via their

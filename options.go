@@ -10,10 +10,11 @@ type HostOption interface{ applyHost(*hostConfig) }
 type ChannelOption interface{ applyChannel(*channelConfig) }
 
 type clusterConfig struct {
-	seed   int64
-	fabric FabricConfig
-	trace  bool
-	plan   *ChaosPlan
+	seed        int64
+	fabric      FabricConfig
+	trace       bool
+	sampleEvery Time
+	plan        *ChaosPlan
 }
 
 type hostConfig struct {
@@ -56,6 +57,17 @@ func WithFabric(cfg FabricConfig) ClusterOption {
 // The tracer is reachable as Cluster.Tracer.
 func WithTracing() ClusterOption {
 	return clusterOption(func(c *clusterConfig) { c.trace = true })
+}
+
+// WithSampling attaches a time-series Sampler ticking every `every` of
+// virtual time, snapshotting all registered counters and gauges (and the
+// per-subsystem probes every host registers) into deterministic series.
+// Sampling implies tracing; the sampler is reachable as Cluster.Sampler.
+func WithSampling(every Time) ClusterOption {
+	return clusterOption(func(c *clusterConfig) {
+		c.trace = true
+		c.sampleEvery = every
+	})
 }
 
 // WithRAM sets the host's physical memory in bytes (default 8 GiB).

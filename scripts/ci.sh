@@ -91,8 +91,9 @@ go test -run 'XXX' -bench 'BenchmarkFaultPath|BenchmarkBackupReplay' -benchtime=
 
 echo "== npfbench -json artifact check =="
 tmpjson=$(mktemp)
-trap 'rm -f "$tmpjson"' EXIT
-go run ./cmd/npfbench -quick -parallel 0 -json "$tmpjson" fig3 ablate > /dev/null
+tmpseries=$(mktemp)
+trap 'rm -f "$tmpjson" "$tmpseries"' EXIT
+go run ./cmd/npfbench -quick -parallel 0 -series "$tmpseries" -json "$tmpjson" fig3 ablate > /dev/null
 python3 - "$tmpjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -100,6 +101,8 @@ with open(sys.argv[1]) as f:
 assert doc["parallel"] >= 1, doc
 assert doc["engine_bench"]["allocs_per_op"] == 0, doc["engine_bench"]
 assert doc["engine_bench"]["events_per_sec"] > 0, doc["engine_bench"]
+assert doc["series"]["samples"] > 0 and doc["series"]["metrics"] > 0, doc.get("series")
+assert len(doc["series"]["digest"]) == 16, doc["series"]
 names = [e["name"] for e in doc["experiments"]]
 assert names == ["fig3", "ablate"], names
 for e in doc["experiments"]:
@@ -107,5 +110,19 @@ for e in doc["experiments"]:
 print("artifact ok:", ", ".join(
     f"{e['name']}={e['events']} events/{e['engines']} engines" for e in doc["experiments"]))
 EOF
+
+# npfstat regression gate: the quick run above must stay within generous
+# deltas of the committed baseline. Structural drift (missing experiments,
+# engine-count changes, event counts beyond -count-tol, allocs/op
+# regressions) hard-fails; wall-clock deltas are machine noise and only
+# warn. The -series capture adds a handful of sampler tick events per
+# engine, which -count-tol comfortably absorbs.
+echo "== npfstat regression gate =="
+go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_baseline.json "$tmpjson"
+
+# npfstat render smoke: the series CSV written above must parse and render.
+echo "== npfstat render smoke =="
+go run ./cmd/npfstat -render "$tmpseries" > /dev/null
+echo "npfstat render ok"
 
 echo "CI OK"
