@@ -4,6 +4,7 @@ import (
 	"npf/internal/chaos"
 	"npf/internal/core"
 	"npf/internal/fabric"
+	"npf/internal/kv"
 	"npf/internal/mem"
 	"npf/internal/nic"
 	"npf/internal/rc"
@@ -25,6 +26,9 @@ type Cluster struct {
 	// Sampler is non-nil when the cluster was built with WithSampling; it
 	// snapshots all metrics every interval of virtual time.
 	Sampler *Sampler
+	// KV is non-nil when the cluster was built with WithKV: a sharded,
+	// replicated key-value service deployed across the fabric.
+	KV *KVService
 
 	injector *chaos.Injector
 }
@@ -48,6 +52,17 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 		// Arm now; hosts and devices created later register themselves with
 		// the injector's live target set before the engine runs.
 		c.injector = chaos.Arm(cfg.plan, chaos.Targets{Eng: eng, Net: c.Net, Tracer: c.Tracer})
+	}
+	if cfg.kv != nil {
+		c.KV = kv.New(eng, c.Net, c.Tracer, *cfg.kv)
+		if ij := c.injector; ij != nil {
+			ij.T.Devs = append(ij.T.Devs, c.KV.Devices()...)
+			ij.T.HCAs = append(ij.T.HCAs, c.KV.HCAs()...)
+			ij.T.Drivers = append(ij.T.Drivers, c.KV.Drivers()...)
+			ij.T.Groups = append(ij.T.Groups, c.KV.Groups()...)
+			ij.T.Spaces = append(ij.T.Spaces, c.KV.Spaces()...)
+			ij.T.Spaces = append(ij.T.Spaces, c.KV.NetSpaces()...)
+		}
 	}
 	return c
 }

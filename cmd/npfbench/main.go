@@ -2,11 +2,13 @@
 // the simulated stack. Run with no arguments for the full suite, or name
 // specific experiments:
 //
-//	npfbench fig3 table4 fig4a fig4b table5 fig7 fig8a fig8b fig9 table6 fig10 ablate loc
+//	npfbench fig3 table4 fig4a fig4b table5 fig7 fig8a fig8b fig9 table6 fig10 ablate loc kv
 //
 // Flags:
 //
 //	-quick      smaller trial counts / shorter runs (CI-friendly)
+//	-kv         append the distributed-KV registration ablation (the "kv"
+//	            experiment) to the selected set
 //	-root       repository root for the loc experiment (default ".")
 //	-parallel   fan independent sweep jobs across N worker goroutines
 //	            (0 = one per CPU); results are byte-identical to -parallel 1
@@ -96,6 +98,19 @@ type seriesSummary struct {
 	Digest     string `json:"digest"`
 }
 
+// kvRow is one registration policy's row of the KV ablation in the -json
+// artifact. Every field is virtual-time-deterministic given the seed, so
+// npfstat hard-gates them like event counts.
+type kvRow struct {
+	Policy    string  `json:"policy"`
+	Ops       int     `json:"ops"`
+	P99Us     float64 `json:"p99_us"`
+	NPFs      uint64  `json:"npfs"`
+	Evictions uint64  `json:"evictions"`
+	Shed      uint64  `json:"shed"`
+	Failovers uint64  `json:"failovers"`
+}
+
 // benchArtifact is the top-level -json document.
 type benchArtifact struct {
 	GoVersion   string                  `json:"go_version"`
@@ -104,11 +119,30 @@ type benchArtifact struct {
 	Quick       bool                    `json:"quick"`
 	EngineBench bench.EngineBenchResult `json:"engine_bench"`
 	Series      *seriesSummary          `json:"series,omitempty"`
+	KV          []kvRow                 `json:"kv,omitempty"`
 	Experiments []expResult             `json:"experiments"`
+}
+
+// kvRows flattens the KV ablation result into artifact rows.
+func kvRows(r *bench.KVResult) []kvRow {
+	rows := make([]kvRow, len(r.Policies))
+	for i, pol := range r.Policies {
+		rows[i] = kvRow{
+			Policy:    pol.String(),
+			Ops:       r.Ops[i],
+			P99Us:     r.P99Us[i],
+			NPFs:      r.NPFs[i],
+			Evictions: r.Evicts[i],
+			Shed:      r.Shed[i],
+			Failovers: r.Failover[i],
+		}
+	}
+	return rows
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	kvExp := flag.Bool("kv", false, "append the distributed-KV ablation to the selected experiments")
 	root := flag.String("root", ".", "repository root (for the loc experiment)")
 	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
@@ -156,6 +190,15 @@ func main() {
 	if len(experiments) == 0 {
 		experiments = []string{"fig3", "table4", "fig4a", "fig4b", "table5",
 			"fig7", "fig8a", "fig8b", "fig9", "table6", "fig10", "ablate", "loc"}
+	}
+	if *kvExp {
+		seen := false
+		for _, e := range experiments {
+			seen = seen || e == "kv"
+		}
+		if !seen {
+			experiments = append(experiments, "kv")
+		}
 	}
 
 	artifact := &benchArtifact{
@@ -218,6 +261,10 @@ func main() {
 			out = bench.RunFig10().Render()
 		case "ablate":
 			out = bench.RunAblate().Render()
+		case "kv":
+			r := bench.RunKV(*quick)
+			artifact.KV = kvRows(r)
+			out = r.Render()
 		case "loc":
 			r, err := bench.RunLOC(*root)
 			if err != nil {

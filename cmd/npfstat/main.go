@@ -15,7 +15,9 @@
 //
 // Diff semantics: structural drift — an experiment in the current run that
 // the baseline has never seen, an engine-count mismatch, an event-count
-// delta beyond -count-tol, or an allocs/op regression in the engine
+// delta beyond -count-tol, a KV-ablation metric (ops exactly; p99/npfs/
+// evictions/shed/failovers beyond -count-tol — all virtual-time
+// deterministic), or an allocs/op regression in the engine
 // microbenchmark — is a hard failure (exit 1). Wall-clock and
 // events-per-second deltas are machine-load noise and only warn, unless
 // -fail-on-timing promotes them. Exit codes: 0 pass, 1 fail, 2 usage.
@@ -41,6 +43,19 @@ type expRow struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
+// kvRow mirrors npfbench's per-policy KV ablation row. Every field is
+// virtual-time-deterministic given the seed, so the gate treats all of them
+// as counts, not timing.
+type kvRow struct {
+	Policy    string  `json:"policy"`
+	Ops       int     `json:"ops"`
+	P99Us     float64 `json:"p99_us"`
+	NPFs      uint64  `json:"npfs"`
+	Evictions uint64  `json:"evictions"`
+	Shed      uint64  `json:"shed"`
+	Failovers uint64  `json:"failovers"`
+}
+
 // artifact mirrors the npfbench -json document (fields npfstat reads).
 type artifact struct {
 	GoVersion   string `json:"go_version"`
@@ -56,6 +71,7 @@ type artifact struct {
 		Metrics int    `json:"metrics"`
 		Digest  string `json:"digest"`
 	} `json:"series,omitempty"`
+	KV          []kvRow  `json:"kv,omitempty"`
 	Experiments []expRow `json:"experiments"`
 }
 
@@ -197,6 +213,49 @@ func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
 			fail(r)
 		} else {
 			rows = append(rows, r)
+		}
+	}
+
+	if len(cur.KV) > 0 {
+		kvBase := make(map[string]*kvRow, len(base.KV))
+		for i := range base.KV {
+			kvBase[base.KV[i].Policy] = &base.KV[i]
+		}
+		count := func(scope, metric string, b, c float64) {
+			d := relDelta(b, c)
+			r := row{scope: scope, metric: metric,
+				base: fmt.Sprintf("%.0f", b), cur: fmt.Sprintf("%.0f", c), delta: fmtDelta(d)}
+			if math.Abs(d) > cfg.countTol {
+				r.note = fmt.Sprintf("beyond count-tol %.2f", cfg.countTol)
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+		}
+		for i := range cur.KV {
+			c := &cur.KV[i]
+			scope := "kv/" + c.Policy
+			b, ok := kvBase[c.Policy]
+			if !ok {
+				fail(row{scope: scope, metric: "presence", base: "-", cur: "present",
+					delta: "new", note: "policy not in baseline"})
+				continue
+			}
+			// Completed ops are a correctness invariant, not a tolerance.
+			r := row{scope: scope, metric: "ops",
+				base: fmt.Sprint(b.Ops), cur: fmt.Sprint(c.Ops),
+				delta: fmtDelta(relDelta(float64(b.Ops), float64(c.Ops)))}
+			if c.Ops != b.Ops {
+				r.note = "completed-op drift (lost or duplicated client ops)"
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+			count(scope, "p99_us", b.P99Us, c.P99Us)
+			count(scope, "npfs", float64(b.NPFs), float64(c.NPFs))
+			count(scope, "evictions", float64(b.Evictions), float64(c.Evictions))
+			count(scope, "shed", float64(b.Shed), float64(c.Shed))
+			count(scope, "failovers", float64(b.Failovers), float64(c.Failovers))
 		}
 	}
 

@@ -83,6 +83,47 @@ func TestDiffCountWithinTolPasses(t *testing.T) {
 	}
 }
 
+func mkKVArtifact(ops int, npfs, evicts, failovers uint64) *artifact {
+	a := mkArtifact(1000, 3, 50, 0)
+	a.KV = []kvRow{{
+		Policy: "odp", Ops: ops, P99Us: 7000,
+		NPFs: npfs, Evictions: evicts, Failovers: failovers,
+	}}
+	return a
+}
+
+func TestDiffKVGate(t *testing.T) {
+	base := mkKVArtifact(1200, 1300, 2000, 0)
+	if _, pass := diff(base, mkKVArtifact(1200, 1300, 2000, 0), defCfg); !pass {
+		t.Fatal("identical KV rows failed the gate")
+	}
+	// In-tolerance count drift passes; ops drift never does.
+	if _, pass := diff(base, mkKVArtifact(1200, 1330, 2040, 0), defCfg); !pass {
+		t.Fatal("in-tolerance KV count drift failed the gate")
+	}
+	for name, cur := range map[string]*artifact{
+		"lost ops":           mkKVArtifact(1199, 1300, 2000, 0),
+		"npf drift":          mkKVArtifact(1200, 2600, 2000, 0),
+		"eviction drift":     mkKVArtifact(1200, 1300, 100, 0),
+		"spurious failovers": mkKVArtifact(1200, 1300, 2000, 3),
+	} {
+		if _, pass := diff(base, cur, defCfg); pass {
+			t.Fatalf("%s: expected hard failure", name)
+		}
+	}
+	// A policy the baseline has never seen is structural drift.
+	cur := mkKVArtifact(1200, 1300, 2000, 0)
+	cur.KV[0].Policy = "mystery"
+	if _, pass := diff(base, cur, defCfg); pass {
+		t.Fatal("unknown KV policy passed the gate")
+	}
+	// A baseline without a KV section gates nothing but also hides nothing:
+	// every current row is "not in baseline".
+	if _, pass := diff(mkArtifact(1000, 3, 50, 0), cur, defCfg); pass {
+		t.Fatal("KV rows passed against a KV-less baseline")
+	}
+}
+
 func TestRelDelta(t *testing.T) {
 	if d := relDelta(100, 110); math.Abs(d-0.1) > 1e-12 {
 		t.Fatalf("relDelta = %v, want 0.1", d)

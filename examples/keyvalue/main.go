@@ -1,10 +1,13 @@
-// Keyvalue: a small key-value server over a direct Ethernet channel,
-// demonstrating the paper's §5 running example — the same cold-ring startup
-// under the three receive fault policies: statically pinned, drop, and the
-// backup ring.
+// Keyvalue: the distributed key-value service from internal/kv driven
+// through the public API — a sharded, primary/backup-replicated store
+// spread across simulated hosts, with a Zipf-skewed workload and a
+// mid-run reclaim squeeze on the servers' memory cgroups.
 //
-// The server is written against the public API only: a TCP stack over an
-// IOchannel, with the library's driver doing all NPF work invisibly.
+// The run compares the paper's Table 3 registration spectrum at service
+// scale: a fully pinned deployment shrugs off the squeeze but holds its
+// memory forever; ODP and the pin-down cache give memory back and pay for
+// it in the tail (network page faults, refaults) — exactly the
+// elasticity-vs-tail-latency tradeoff the paper argues ODP makes viable.
 //
 // Run with: go run ./examples/keyvalue
 package main
@@ -15,102 +18,56 @@ import (
 	"npf"
 )
 
-// request/reply are this example's tiny wire protocol.
-type request struct {
-	op    string // "get" | "set"
-	key   string
-	value string
-}
+// run deploys the service under one registration policy, squeezes every
+// shard's cgroup to 64 KB four times mid-run, and reports the workload's
+// latency profile.
+func run(reg npf.KVRegPolicy) {
+	cluster := npf.NewCluster(npf.WithSeed(7), npf.WithKV(npf.KVConfig{
+		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
+		Reg: reg, ExpectedKeys: 1024,
+	}))
+	svc := cluster.KV
 
-type reply struct {
-	value string
-	ok    bool
-}
-
-// server is a toy KV store over npf TCP connections.
-type server struct {
-	data map[string]string
-}
-
-func (s *server) accept(c *npf.Conn) {
-	c.OnMessage = func(payload any, n int) {
-		req := payload.(*request)
-		switch req.op {
-		case "set":
-			s.data[req.key] = req.value
-			c.Send(32, &reply{ok: true})
-		case "get":
-			v, ok := s.data[req.key]
-			c.Send(32+len(v), &reply{value: v, ok: ok})
-		}
-	}
-}
-
-// run builds a fresh two-host setup with the given server-ring policy and
-// returns how long 500 request/response pairs took from a cold start.
-func run(policy npf.FaultPolicy) (npf.Time, bool) {
-	cluster := npf.NewCluster(npf.WithSeed(7), npf.WithFabric(npf.EthernetFabric()))
-	serverHost := cluster.NewHost("server")
-	clientHost := cluster.NewHost("client")
-
-	// Server: one IOuser with a 64-entry receive ring under the policy.
-	srvAS := serverHost.NewProcess("kv", nil)
-	srvCh := serverHost.OpenChannel(srvAS, npf.WithRingSize(64), npf.WithPolicy(policy))
-	srvStack := npf.NewStack(srvCh, npf.DefaultTCPConfig())
-	if policy == npf.PolicyPinned {
-		if _, err := npf.StaticPinAll(srvAS, srvCh.Domain); err != nil {
-			panic(err)
-		}
-	}
-	srv := &server{data: make(map[string]string)}
-	srvStack.Listen(srv.accept)
-
-	// Client: unmodified machine, statically pinned.
-	cliAS := clientHost.NewProcess("cli", nil)
-	cliCh := clientHost.OpenChannel(cliAS, npf.WithPolicy(npf.PolicyPinned))
-	cliStack := npf.NewStack(cliCh, npf.DefaultTCPConfig())
-	if _, err := npf.StaticPinAll(cliAS, cliCh.Domain); err != nil {
-		panic(err)
+	// Reclaim waves: squeeze all shard groups to the floor, hold 5 ms,
+	// release. Pinned arenas are immune; ODP arenas evict and refault.
+	for wave := 0; wave < 4; wave++ {
+		at := npf.Time(5+15*wave) * npf.Millisecond
+		cluster.Eng.At(at, func() {
+			for _, g := range svc.Groups() {
+				g.SetLimit(64 << 10)
+			}
+		})
+		cluster.Eng.At(at+5*npf.Millisecond, func() {
+			for _, g := range svc.Groups() {
+				g.SetLimit(0)
+			}
+		})
 	}
 
-	const total = 500
-	done := 0
-	var doneAt npf.Time
-	conn := cliStack.Dial(srvCh.Dev.Node, srvCh.Flow)
-	issue := func() {
-		if done%2 == 0 {
-			conn.Send(96, &request{op: "set", key: fmt.Sprint("k", done), value: "v"})
-		} else {
-			conn.Send(64, &request{op: "get", key: fmt.Sprint("k", done-1)})
-		}
+	wl := svc.NewWorkload(npf.KVWorkloadConfig{
+		TargetOps: 2000, Keys: 1024, ZipfS: 1.1, GetRatio: 0.9,
+		Prepopulate: true, FrontCacheEntries: 32,
+	})
+	wl.OnDone = func() {
+		cluster.Eng.After(300*npf.Millisecond, func() { svc.Stop() })
 	}
-	conn.OnConnect = func() { issue() }
-	failed := false
-	conn.OnFail = func(error) { failed = true }
-	conn.OnMessage = func(payload any, n int) {
-		done++
-		if done >= total {
-			doneAt = cluster.Eng.Now()
-			return
-		}
-		issue()
+	wl.Start()
+	cluster.Eng.RunUntil(60 * npf.Second)
+
+	if diverged := svc.CheckConsistency(); len(diverged) != 0 {
+		panic(fmt.Sprint("replicas diverged: ", diverged))
 	}
-	cluster.Eng.RunUntil(120 * npf.Second)
-	if doneAt == 0 {
-		return 120 * npf.Second, failed
-	}
-	return doneAt, failed
+	fmt.Printf("  %-15v %5d ops   p50 %5.0f µs   p99 %6.0f µs   %5d NPFs   %5d evictions\n",
+		reg, wl.Completed(), wl.Lat.Percentile(50), wl.Lat.Percentile(99),
+		svc.NPFs(), svc.GroupEvictions())
 }
 
 func main() {
-	fmt.Println("cold-start time for 500 KV operations over a 64-entry ring:")
-	for _, policy := range []npf.FaultPolicy{npf.PolicyPinned, npf.PolicyBackup, npf.PolicyDrop} {
-		t, failed := run(policy)
-		status := ""
-		if failed {
-			status = "  (connection aborted by TCP)"
-		}
-		fmt.Printf("  %-7v %12v%s\n", policy, t, status)
+	fmt.Println("distributed KV (3 servers × 4 shards × 2 replicas, 2000 Zipf ops,")
+	fmt.Println("4 reclaim waves squeezing every shard cgroup to 64 KB):")
+	for _, reg := range []npf.KVRegPolicy{npf.KVRegPinned, npf.KVRegPinDown, npf.KVRegODP} {
+		run(reg)
 	}
-	fmt.Println("\nbackup ring ≈ pinned; drop pays seconds of TCP backoff (Figure 4).")
+	fmt.Println("\npinned ignores reclaim but can never give memory back; ODP absorbs")
+	fmt.Println("the squeeze as tail latency and re-faults its way home (Table 3).")
 }

@@ -23,7 +23,7 @@ import (
 
 const Doc = `forbid time.Duration/time.Time in sim-layer signatures
 
-Packages internal/{sim,core,nic,iommu,rc,tcp,fabric,mem} express time as
+Packages internal/{sim,core,nic,iommu,rc,tcp,fabric,mem,kv} express time as
 sim.Time (virtual nanoseconds). Signatures carrying time.Duration or
 time.Time invite wall-clock values into the simulation; convert at the
 boundary instead. Annotate intentional converters with //npf:realtime.`
@@ -36,7 +36,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // simLayer matches the import paths whose APIs must use sim.Time.
-var simLayer = regexp.MustCompile(`(^|/)internal/(sim|core|nic|iommu|rc|tcp|fabric|mem)(/|$)`)
+var simLayer = regexp.MustCompile(`(^|/)internal/(sim|core|nic|iommu|rc|tcp|fabric|mem|kv)(/|$)`)
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if !simLayer.MatchString(pass.Pkg.Path()) {

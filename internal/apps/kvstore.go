@@ -8,11 +8,17 @@ package apps
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 
 	"npf/internal/mem"
 	"npf/internal/sim"
 )
+
+// ErrArenaExhausted reports that a Set could not carve a value slot from
+// the store's arena. Callers degrade gracefully — evict (EvictOldest) and
+// retry, or shed the op — rather than crash.
+var ErrArenaExhausted = errors.New("kvstore: arena exhausted")
 
 // KVStore is a memcached-like LRU item cache. Item values live in the
 // IOuser's address space, so gets and sets demand-page real (simulated)
@@ -109,7 +115,10 @@ func (kv *KVStore) Set(key string, size int) (cost sim.Time, err error) {
 		}
 		kv.removeItem(front.Value.(*kvItem))
 	}
-	addr := kv.allocSlot(size)
+	addr, err := kv.allocSlot(size)
+	if err != nil {
+		return 0, err
+	}
 	res, err := kv.as.Touch(addr, size, true)
 	if err != nil {
 		return res.Cost, err
@@ -128,22 +137,61 @@ func (kv *KVStore) removeItem(it *kvItem) {
 	kv.freeSlots[it.size] = append(kv.freeSlots[it.size], it.addr)
 }
 
-func (kv *KVStore) allocSlot(size int) mem.VAddr {
+func (kv *KVStore) allocSlot(size int) (mem.VAddr, error) {
 	if slots := kv.freeSlots[size]; len(slots) > 0 {
 		addr := slots[len(slots)-1]
 		kv.freeSlots[size] = slots[:len(slots)-1]
-		return addr
+		return addr, nil
 	}
 	// Page-align slots so distinct items never share pages (memcached's
 	// slab allocator at our value sizes behaves the same way).
 	alloc := (int64(size) + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	if kv.arenaSet {
 		if kv.arenaNext+mem.VAddr(alloc) > kv.arenaEnd {
-			panic(fmt.Sprintf("kvstore: arena exhausted (%d items)", kv.Items()))
+			return 0, fmt.Errorf("%w (%d items live)", ErrArenaExhausted, kv.Items())
 		}
 		addr := kv.arenaNext
 		kv.arenaNext += mem.VAddr(alloc)
-		return addr
+		return addr, nil
 	}
-	return kv.as.MapBytes(alloc)
+	return kv.as.MapBytes(alloc), nil
+}
+
+// EvictOldest drops the least-recently-used item, recycling its slot. It
+// reports false on an empty store.
+func (kv *KVStore) EvictOldest() bool {
+	front := kv.lru.Front()
+	if front == nil {
+		return false
+	}
+	kv.removeItem(front.Value.(*kvItem))
+	return true
+}
+
+// Peek returns key's value location and size without touching memory or
+// LRU state (for registration-cost modelling and snapshots).
+func (kv *KVStore) Peek(key string) (mem.VAddr, int, bool) {
+	it, ok := kv.items[key]
+	if !ok {
+		return 0, 0, false
+	}
+	return it.addr, it.size, true
+}
+
+// Keys returns all live keys in LRU order (oldest first) — a deterministic
+// iteration order for snapshots.
+func (kv *KVStore) Keys() []string {
+	out := make([]string, 0, kv.lru.Len())
+	for e := kv.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*kvItem).key)
+	}
+	return out
+}
+
+// Reset drops every item, recycling all slots (the receiving side of a
+// snapshot resync). Counters are preserved.
+func (kv *KVStore) Reset() {
+	for kv.lru.Front() != nil {
+		kv.removeItem(kv.lru.Front().Value.(*kvItem))
+	}
 }

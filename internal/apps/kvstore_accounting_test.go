@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"errors"
+	"testing"
+
+	"npf/internal/mem"
+	"npf/internal/sim"
+)
+
+// newArenaKV builds a store confined to an arena of the given page count.
+func newArenaKV(t *testing.T, pages int, capacity int64) *KVStore {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	m := mem.NewMachine(eng, 8<<30)
+	as := m.NewAddressSpace("kv-arena", nil)
+	size := int64(pages) * mem.PageSize
+	base := as.MapBytes(size)
+	kv := NewKVStore(as, capacity)
+	kv.SetArena(base, size)
+	return kv
+}
+
+func TestKVStoreMixedSizeResetAccounting(t *testing.T) {
+	_, kv := newKVEnv(0)
+	sizes := []int{512, 2048, 1024, 4096}
+	var want int64
+	for i, sz := range sizes {
+		key := string(rune('a' + i))
+		if _, err := kv.Set(key, sz); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(sz)
+	}
+	if kv.UsedBytes() != want || kv.Items() != len(sizes) {
+		t.Fatalf("after sets: used=%d items=%d, want %d/%d", kv.UsedBytes(), kv.Items(), want, len(sizes))
+	}
+	// Re-Set with a different size must replace, not double-count.
+	if _, err := kv.Set("a", 3072); err != nil {
+		t.Fatal(err)
+	}
+	want += 3072 - 512
+	if kv.UsedBytes() != want || kv.Items() != len(sizes) {
+		t.Fatalf("after resize: used=%d items=%d, want %d/%d", kv.UsedBytes(), kv.Items(), want, len(sizes))
+	}
+	// Re-Set with the same size is an overwrite in place.
+	if _, err := kv.Set("b", 2048); err != nil {
+		t.Fatal(err)
+	}
+	if kv.UsedBytes() != want || kv.Items() != len(sizes) {
+		t.Fatalf("after overwrite: used=%d items=%d, want %d/%d", kv.UsedBytes(), kv.Items(), want, len(sizes))
+	}
+}
+
+func TestKVStoreArenaExhaustionAndSlotReuse(t *testing.T) {
+	// Arena fits exactly two one-page slots.
+	kv := newArenaKV(t, 2, 0)
+	if _, err := kv.Set("a", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Set("b", 1024); err != nil {
+		t.Fatal(err)
+	}
+	_, err := kv.Set("c", 1024)
+	if !errors.Is(err, ErrArenaExhausted) {
+		t.Fatalf("third set: err=%v, want ErrArenaExhausted", err)
+	}
+	// The failed set must not corrupt accounting.
+	if kv.Items() != 2 || kv.UsedBytes() != 2048 {
+		t.Fatalf("after failed set: items=%d used=%d", kv.Items(), kv.UsedBytes())
+	}
+	// Evicting the LRU item recycles its slot for the blocked key.
+	if !kv.EvictOldest() {
+		t.Fatal("EvictOldest on non-empty store returned false")
+	}
+	if kv.Items() != 1 || kv.UsedBytes() != 1024 {
+		t.Fatalf("after evict: items=%d used=%d", kv.Items(), kv.UsedBytes())
+	}
+	if _, err := kv.Set("c", 1024); err != nil {
+		t.Fatalf("set after evict: %v", err)
+	}
+	addrA, _, okA := kv.Peek("a")
+	if okA {
+		t.Fatalf("evicted key still present at %#x", addrA)
+	}
+	if _, _, ok := kv.Peek("c"); !ok {
+		t.Fatal("recycled-slot key missing")
+	}
+}
+
+func TestKVStoreCapacityExceededError(t *testing.T) {
+	// A single item larger than Capacity can never fit: the store must
+	// return an error (after clearing space), not loop or panic.
+	_, kv := newKVEnv(4096)
+	if _, err := kv.Set("small", 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kv.Set("big", 8192); err == nil {
+		t.Fatal("oversized set succeeded")
+	}
+	if kv.UsedBytes() != 0 || kv.Items() != 0 {
+		// The capacity loop evicts everything trying to make room.
+		t.Fatalf("after oversized set: items=%d used=%d, want empty", kv.Items(), kv.UsedBytes())
+	}
+}
+
+func TestKVStoreResetRecyclesEverything(t *testing.T) {
+	kv := newArenaKV(t, 4, 0)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, err := kv.Set(k, 1024); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv.Reset()
+	if kv.Items() != 0 || kv.UsedBytes() != 0 {
+		t.Fatalf("after reset: items=%d used=%d", kv.Items(), kv.UsedBytes())
+	}
+	// All four slots must be reusable without growing past the arena.
+	for _, k := range []string{"w", "x", "y", "z"} {
+		if _, err := kv.Set(k, 1024); err != nil {
+			t.Fatalf("set %q after reset: %v", k, err)
+		}
+	}
+	if kv.Items() != 4 || kv.UsedBytes() != 4096 {
+		t.Fatalf("refill: items=%d used=%d", kv.Items(), kv.UsedBytes())
+	}
+}
+
+func TestKVStoreKeysLRUOrder(t *testing.T) {
+	_, kv := newKVEnv(0)
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := kv.Set(k, 512); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so it becomes most-recently-used.
+	if hit, _, _, _ := kv.Get("a"); !hit {
+		t.Fatal("miss on live key")
+	}
+	got := kv.Keys()
+	want := []string{"b", "c", "a"}
+	if len(got) != len(want) {
+		t.Fatalf("Keys() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", got, want)
+		}
+	}
+}

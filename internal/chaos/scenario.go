@@ -63,6 +63,14 @@ type Report struct {
 	InvDuplicates    uint64
 	FaultP99Us       float64
 	SimSeconds       float64
+
+	// Distributed-KV scenario fields (zero for the single-host scenarios).
+	KVOps       uint64
+	Failovers   uint64
+	Resyncs     uint64
+	Shed        uint64
+	GroupEvicts uint64
+	KVp99Us     float64
 }
 
 // check records a failed invariant.
@@ -90,6 +98,10 @@ func (r *Report) Render() string {
 		r.Delivered, r.Sent, r.NPFs, r.FaultP99Us, r.InjectedDrops, r.Retransmits)
 	fmt.Fprintf(&b, "  resolver timeouts %d, degraded pins %d, dup invalidations %d, %.3fs simulated, digest %016x\n",
 		r.ResolverTimeouts, r.DegradedPins, r.InvDuplicates, r.SimSeconds, r.Digest)
+	if r.KVOps > 0 {
+		fmt.Fprintf(&b, "  kv: %d ops (p99 %.0f us), %d failovers, %d resyncs, %d shed, %d group evictions\n",
+			r.KVOps, r.KVp99Us, r.Failovers, r.Resyncs, r.Shed, r.GroupEvicts)
+	}
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "  FAIL: %s\n", f)
 	}
@@ -137,6 +149,21 @@ func Scenarios() []Scenario {
 			Name: "cold-ring-storm",
 			Desc: "a burst of traffic into an entirely cold small ring under a firmware stall; the backup ring must drain without sticking",
 			Run:  runColdRingStorm,
+		},
+		{
+			Name: "kv-under-invalidation-storm",
+			Desc: "delayed+duplicated invalidations and arena page discards hammer a replicated KV service's ODP servers; every op must complete and replicas must converge",
+			Run:  runKVInvalidationStorm,
+		},
+		{
+			Name: "kv-replica-link-flap",
+			Desc: "a KV shard primary's host drops off the fabric mid-workload; failover must promote a backup, clients must reroute, and the rejoined host must resync",
+			Run:  runKVReplicaLinkFlap,
+		},
+		{
+			Name: "kv-memory-pressure",
+			Desc: "reclaim waves squeeze the per-shard cgroups under live KV traffic; the service must shed-or-evict gracefully and keep replicas identical",
+			Run:  runKVMemoryPressure,
 		},
 	}
 }

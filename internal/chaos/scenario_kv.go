@@ -1,0 +1,167 @@
+package chaos
+
+import (
+	"npf/internal/fabric"
+	"npf/internal/kv"
+	"npf/internal/mem"
+	"npf/internal/sim"
+	"npf/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// Distributed-KV scenarios: the whole service — placement, replication,
+// failover, client retries — run under the same fault injectors the
+// single-host scenarios use, with the replication convergence invariant
+// (CheckConsistency) layered on top of the usual no-lost-work checks.
+
+// newKVEnv builds a KV deployment on a fresh engine.
+func newKVEnv(seed int64, cfg kv.Config) (*sim.Engine, *trace.Tracer, *kv.Service) {
+	eng := sim.NewEngine(seed)
+	eng.MaxEvents = maxScenarioEvents
+	tr := trace.New(eng)
+	fcfg := fabric.DefaultEthernet()
+	if cfg.Transport == kv.TransportRC {
+		fcfg = fabric.DefaultInfiniBand()
+	}
+	net := fabric.New(eng, fcfg)
+	svc := kv.New(eng, net, tr, cfg)
+	if SampleEvery > 0 {
+		tr.StartSampler(SampleEvery)
+	}
+	return eng, tr, svc
+}
+
+// kvTargets exposes every layer of the deployment to the injector.
+func kvTargets(eng *sim.Engine, tr *trace.Tracer, svc *kv.Service) Targets {
+	return Targets{
+		Eng:     eng,
+		Net:     svc.Net,
+		Devs:    svc.Devices(),
+		HCAs:    svc.HCAs(),
+		Drivers: svc.Drivers(),
+		Groups:  svc.Groups(),
+		Spaces:  svc.Spaces(),
+		Tracer:  tr,
+	}
+}
+
+// runKVWorkload drives wl to completion (quiescing the control plane a
+// grace period after the last op) and fills the report's common fields.
+func runKVWorkload(r *Report, eng *sim.Engine, tr *trace.Tracer, svc *kv.Service, wl *kv.Workload) {
+	wl.OnDone = func() {
+		// Leave the control plane up long enough for failed-over or
+		// squeezed replicas to finish resyncing, then park it.
+		eng.After(300*sim.Millisecond, func() { svc.Stop() })
+	}
+	wl.Start()
+	end := eng.RunUntil(120 * sim.Second)
+
+	r.Series = seriesCSV(tr)
+	r.Digest = tr.Digest()
+	r.Sent = wl.Cfg.TargetOps
+	r.Delivered = wl.Completed()
+	r.NPFs = svc.NPFs()
+	r.KVOps = uint64(wl.Completed())
+	r.Failovers = svc.Failovers.N
+	r.Resyncs = svc.Resyncs.N
+	r.Shed = svc.Shed.N
+	r.GroupEvicts = svc.GroupEvictions()
+	r.KVp99Us = wl.Lat.Percentile(99)
+	r.SimSeconds = end.Seconds()
+	for _, drv := range svc.Drivers() {
+		r.ResolverTimeouts += drv.ResolverTimeouts.N
+		r.DegradedPins += drv.DegradedPins.N
+		r.InvDuplicates += drv.InvDuplicates.N
+	}
+
+	// Universal KV invariants: no lost client ops, converged replicas.
+	r.check(wl.Completed() == wl.Cfg.TargetOps,
+		"lost client ops: completed %d of %d", wl.Completed(), wl.Cfg.TargetOps)
+	for _, v := range svc.CheckConsistency() {
+		r.check(false, "replicas diverged: %s", v)
+	}
+}
+
+func runKVInvalidationStorm(seed int64) *Report {
+	r := &Report{Scenario: "kv-under-invalidation-storm", Seed: seed}
+	eng, tr, svc := newKVEnv(seed, kv.Config{
+		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
+		Reg: kv.RegODP, ExpectedKeys: 512,
+	})
+	plan := NewPlan(InvalidationChaos{
+		At: 0, Duration: 2 * sim.Second,
+		Extra: 20 * sim.Microsecond, Duplicates: 2,
+	})
+	// Discard the servers' ODP network buffers and value arenas repeatedly
+	// mid-traffic: the buffer discards fire the (delayed, duplicated)
+	// invalidation flow through the NPF drivers against rings being served,
+	// and the arena discards force store-side refaults on live values.
+	spaces := append(svc.NetSpaces(), svc.Spaces()...)
+	for i := 0; i < 4; i++ {
+		at := sim.Time(3+2*i) * sim.Millisecond
+		plan.Add(Callback{At: at, Fn: func(ij *Injector) {
+			for _, as := range spaces {
+				as.DiscardPages(0, int(as.MappedBytes()/mem.PageSize))
+			}
+		}})
+	}
+	Arm(plan, kvTargets(eng, tr, svc))
+	wl := svc.NewWorkload(kv.WorkloadConfig{
+		TargetOps: 1200, Keys: 512, Prepopulate: true, FrontCacheEntries: 32,
+	})
+	runKVWorkload(r, eng, tr, svc, wl)
+	r.check(r.NPFs > 0, "fault never fired: no network page faults")
+	r.check(r.InvDuplicates > 0, "fault never fired: no duplicated invalidations")
+	return r.finish()
+}
+
+func runKVReplicaLinkFlap(seed int64) *Report {
+	r := &Report{Scenario: "kv-replica-link-flap", Seed: seed}
+	eng, tr, svc := newKVEnv(seed, kv.Config{
+		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
+		Reg:            kv.RegODP,
+		ExpectedKeys:   512,
+		HeartbeatEvery: 2 * sim.Millisecond,
+		FailoverAfter:  8 * sim.Millisecond,
+		ReplTimeout:    5 * sim.Millisecond,
+	})
+	victim := svc.Placement().PrimaryHost(0)
+	// Sever the victim host whole (data link and management port) for
+	// 100 ms — an order of magnitude past FailoverAfter — then heal it.
+	Arm(NewPlan(
+		Callback{At: 25 * sim.Millisecond, Fn: func(ij *Injector) { svc.SetHostDown(victim, true) }},
+		Callback{At: 125 * sim.Millisecond, Fn: func(ij *Injector) { svc.SetHostDown(victim, false) }},
+	), kvTargets(eng, tr, svc))
+	wl := svc.NewWorkload(kv.WorkloadConfig{
+		TargetOps: 3000, Keys: 512, Prepopulate: true,
+		OpenLoop: true, ArrivalRate: 5_000, Clients: 4,
+		RequestTimeout: 10 * sim.Millisecond,
+	})
+	runKVWorkload(r, eng, tr, svc, wl)
+	r.check(r.Failovers > 0, "fault never fired: severed primary was not failed over")
+	r.check(r.Resyncs > 0, "rejoined host never resynced")
+	return r.finish()
+}
+
+func runKVMemoryPressure(seed int64) *Report {
+	r := &Report{Scenario: "kv-memory-pressure", Seed: seed}
+	eng, tr, svc := newKVEnv(seed, kv.Config{
+		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
+		Reg: kv.RegODP, ExpectedKeys: 512,
+	})
+	// Fast NVMe-class swap, as in thrash-under-pressure: the scenario
+	// stresses reclaim racing the data path, not disk latency.
+	for _, h := range svc.Hosts {
+		h.M.Swap.ReadLatency = 200 * sim.Microsecond
+	}
+	Arm(NewPlan(MemoryPressure{
+		At: 5 * sim.Millisecond, Period: 10 * sim.Millisecond, Waves: 5,
+		LowBytes: 64 << 10, HighBytes: 0,
+	}), kvTargets(eng, tr, svc))
+	wl := svc.NewWorkload(kv.WorkloadConfig{
+		TargetOps: 1500, Keys: 512, Prepopulate: true, GetRatio: 0.7,
+	})
+	runKVWorkload(r, eng, tr, svc, wl)
+	r.check(r.GroupEvicts > 0, "fault never fired: no cgroup evictions")
+	return r.finish()
+}

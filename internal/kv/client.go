@@ -1,0 +1,401 @@
+package kv
+
+import (
+	"fmt"
+
+	"npf/internal/sim"
+)
+
+// WorkloadConfig sizes one tenant's load generator.
+type WorkloadConfig struct {
+	// Tenant names the workload; per-tenant latency probes are published
+	// as kv.<tenant>.p50_us / p99_us / p999_us (default "default").
+	Tenant string
+	// Clients is the number of concurrent closed-loop clients (or
+	// open-loop arrival streams), spread round-robin over the client
+	// hosts (default 8).
+	Clients int
+	// TargetOps is the total operation count across all clients (default
+	// 2000). The workload completes when every op has a reply.
+	TargetOps int
+	// GetRatio is the fraction of gets (default 0.9, memcached-style).
+	GetRatio float64
+	// Keys is the key-space size; keys are drawn Zipf-distributed so a
+	// hot head dominates (default Config.ExpectedKeys).
+	Keys int
+	// ZipfS is the Zipf exponent (default 1.1).
+	ZipfS float64
+	// OpenLoop issues ops on an exponential arrival clock regardless of
+	// completions (coordinated-omission-free); the default closed loop
+	// keeps one op outstanding per client.
+	OpenLoop bool
+	// ArrivalRate is ops/sec per client in open-loop mode (default 20k).
+	ArrivalRate float64
+	// FrontCacheEntries bounds the host-level hot-key front cache; 0
+	// disables it. Gets hitting the cache complete locally.
+	FrontCacheEntries int
+	// RequestTimeout retries an op that got no reply — lost to a downed
+	// link or a deposed primary (default 50ms).
+	RequestTimeout sim.Time
+	// Prepopulate bulk-loads every key into the stores (and their
+	// backups) before traffic, so gets hit and arenas start resident.
+	Prepopulate bool
+}
+
+func (c WorkloadConfig) withDefaults(svc *Service) WorkloadConfig {
+	if c.Tenant == "" {
+		c.Tenant = "default"
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.TargetOps == 0 {
+		c.TargetOps = 2000
+	}
+	if c.GetRatio == 0 {
+		c.GetRatio = 0.9
+	}
+	if c.Keys == 0 {
+		c.Keys = svc.Cfg.ExpectedKeys
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.ArrivalRate == 0 {
+		c.ArrivalRate = 20_000
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 50 * sim.Millisecond
+	}
+	return c
+}
+
+// Workload is one tenant's load generator plus its latency accounting.
+type Workload struct {
+	svc *Service
+	Cfg WorkloadConfig
+
+	// Lat holds per-op latencies in microseconds (front-cache hits
+	// included: they are real client-observed latencies).
+	Lat sim.Histogram
+
+	Gets      sim.Counter
+	Sets      sim.Counter
+	Hits      sim.Counter // get replies that found the key
+	FrontHits sim.Counter // gets served by the host-level front cache
+	Retries   sim.Counter
+	ShedSeen  sim.Counter // set replies reporting shed load
+
+	// DoneAt is the virtual time the last op completed (0 while running).
+	DoneAt sim.Time
+	// OnDone fires once when the workload completes.
+	OnDone func()
+
+	clients   []*wlClient
+	pending   map[uint64]*pendingReq
+	issued    int
+	completed int
+	started   bool
+}
+
+type wlClient struct {
+	wl    *Workload
+	id    int
+	host  *HostNode
+	rng   *sim.Rand
+	quota int // ops this client still has to issue
+}
+
+type pendingReq struct {
+	c        *wlClient
+	key      string
+	shard    int
+	size     int
+	isGet    bool
+	start    sim.Time
+	timer    sim.EventID
+	attempts int
+}
+
+// NewWorkload attaches a tenant workload to the service. Client RNGs are
+// split from the engine in construction order, so results are independent
+// of when (or whether) other tenants run their ops.
+func (s *Service) NewWorkload(cfg WorkloadConfig) *Workload {
+	cfg = cfg.withDefaults(s)
+	w := &Workload{svc: s, Cfg: cfg, pending: make(map[uint64]*pendingReq)}
+	per := cfg.TargetOps / cfg.Clients
+	extra := cfg.TargetOps % cfg.Clients
+	clientHosts := s.Hosts[s.Cfg.ServerHosts:]
+	for i := 0; i < cfg.Clients; i++ {
+		q := per
+		if i < extra {
+			q++
+		}
+		h := clientHosts[i%len(clientHosts)]
+		if cfg.FrontCacheEntries > 0 {
+			h.frontCache.setCapacity(cfg.FrontCacheEntries)
+		}
+		w.clients = append(w.clients, &wlClient{
+			wl: w, id: i, host: h, rng: s.Eng.Rand().Split(), quota: q,
+		})
+	}
+	tr := s.Tracer
+	tenant := cfg.Tenant
+	tr.Probe("kv."+tenant+".p50_us", func() float64 { return w.Lat.Percentile(50) })
+	tr.Probe("kv."+tenant+".p99_us", func() float64 { return w.Lat.Percentile(99) })
+	tr.Probe("kv."+tenant+".p999_us", func() float64 { return w.Lat.Percentile(99.9) })
+	tr.Probe("kv."+tenant+".completed", func() float64 { return float64(w.completed) })
+	s.workloads = append(s.workloads, w)
+	return w
+}
+
+// Start begins issuing load at the current virtual time (after an optional
+// prepopulation pass) and arms the service control plane.
+func (w *Workload) Start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.svc.Start()
+	if w.Cfg.Prepopulate {
+		w.prepopulate()
+	}
+	for _, c := range w.clients {
+		c := c
+		if w.Cfg.OpenLoop {
+			w.svc.Eng.After(c.nextArrival(), func() { c.arrive() })
+		} else if c.quota > 0 {
+			// Deterministic small stagger so clients do not issue in
+			// lockstep on the first tick.
+			w.svc.Eng.After(sim.Time(c.id+1)*3*sim.Microsecond, func() { c.issue() })
+		}
+	}
+}
+
+// prepopulate bulk-loads every key into its shard's replicas directly (a
+// control-plane bootstrap: no network traffic, memory state applied
+// immediately so arenas start resident and warm).
+func (w *Workload) prepopulate() {
+	s := w.svc
+	for k := 0; k < w.Cfg.Keys; k++ {
+		key := keyName(k)
+		shard := s.place.ShardOfKey(key)
+		for _, r := range s.shards[shard] {
+			if _, ok := r.applySet(key, s.Cfg.ValueBytes); ok && r.primary {
+				r.seq++
+				r.logAppend(key, s.Cfg.ValueBytes)
+			}
+		}
+		// Backups adopt the primary's sequence (they applied the same ops).
+		var seq uint64
+		for _, r := range s.shards[shard] {
+			if r.primary {
+				seq = r.seq
+			}
+		}
+		for _, r := range s.shards[shard] {
+			if !r.primary {
+				r.seq = seq
+			}
+		}
+	}
+}
+
+func keyName(k int) string { return fmt.Sprintf("key-%07d", k) }
+
+// nextArrival draws the open-loop inter-arrival gap.
+func (c *wlClient) nextArrival() sim.Time {
+	gap := c.rng.Exp(1e9 / c.wl.Cfg.ArrivalRate) // mean gap in ns
+	return sim.Time(gap) + sim.Nanosecond
+}
+
+// arrive is the open-loop tick: issue (regardless of completions) and
+// re-arm until the quota is spent.
+func (c *wlClient) arrive() {
+	if c.quota <= 0 {
+		return
+	}
+	c.issue()
+	if c.quota > 0 {
+		c.wl.svc.Eng.After(c.nextArrival(), func() { c.arrive() })
+	}
+}
+
+// issue sends one op drawn from the workload mix.
+func (c *wlClient) issue() {
+	w := c.wl
+	s := w.svc
+	c.quota--
+	w.issued++
+	isGet := c.rng.Bernoulli(w.Cfg.GetRatio)
+	key := keyName(c.rng.Zipf(w.Cfg.Keys, w.Cfg.ZipfS))
+	shard := s.place.ShardOfKey(key)
+	s.nextReq++
+	id := s.nextReq
+	req := &pendingReq{
+		c: c, key: key, shard: shard, isGet: isGet,
+		size:  s.Cfg.ValueBytes,
+		start: s.Eng.Now(),
+	}
+	w.pending[id] = req
+
+	if isGet {
+		w.Gets.Inc()
+		if c.host.frontCache.get(key) {
+			// Hot-key hit at the client tier: complete locally.
+			w.FrontHits.Inc()
+			s.cFrontHits.Add(1)
+			s.Eng.After(frontCacheCost, func() {
+				if r, ok := w.pending[id]; ok {
+					delete(w.pending, id)
+					w.Hits.Inc()
+					w.complete(r)
+				}
+			})
+			return
+		}
+	} else {
+		w.Sets.Inc()
+		c.host.frontCache.invalidate(key)
+	}
+	w.sendReq(id, req)
+}
+
+// frontCacheCost is the client-local cost of a front-cache hit.
+const frontCacheCost = 500 * sim.Nanosecond
+
+// sendReq (re)sends a pending op to the shard's current primary and arms
+// the retry timer.
+func (w *Workload) sendReq(id uint64, req *pendingReq) {
+	s := w.svc
+	req.attempts++
+	kind := rpcGet
+	wire := rpcHeader
+	if !req.isGet {
+		kind = rpcSet
+		wire += req.size
+	}
+	s.send(req.c.host, s.place.PrimaryHost(req.shard), wire, &rpcMsg{
+		Kind: kind, Shard: req.shard, Key: req.key, Size: req.size,
+		ReqID: id, Client: req.c.id,
+	})
+	req.timer = s.Eng.After(w.Cfg.RequestTimeout, func() {
+		if w.pending[id] != req {
+			return
+		}
+		w.Retries.Inc()
+		s.cRetries.Add(1)
+		w.sendReq(id, req) // placement is re-read: a failover reroutes us
+	})
+}
+
+// deliverReply routes a reply arriving at client host h.
+func (s *Service) deliverReply(h *HostNode, m *rpcMsg) {
+	for _, w := range s.workloads {
+		if req, ok := w.pending[m.ReqID]; ok && req.c.host == h {
+			w.handleReply(m.ReqID, req, m)
+			return
+		}
+	}
+}
+
+func (w *Workload) handleReply(id uint64, req *pendingReq, m *rpcMsg) {
+	s := w.svc
+	if m.Redirect && req.attempts < 64 {
+		// The replica we asked is no longer primary. Retry immediately
+		// against the current placement table.
+		s.Eng.Cancel(req.timer)
+		w.sendReq(id, req)
+		return
+	}
+	s.Eng.Cancel(req.timer)
+	delete(w.pending, id)
+	if req.isGet {
+		if m.Hit {
+			w.Hits.Inc()
+			req.c.host.frontCache.add(req.key)
+		}
+	} else if !m.OK {
+		w.ShedSeen.Inc()
+	}
+	w.complete(req)
+}
+
+// complete records one finished op and fires issue/done transitions.
+func (w *Workload) complete(req *pendingReq) {
+	s := w.svc
+	w.Lat.AddTime(s.Eng.Now() - req.start)
+	s.cOps.Add(1)
+	w.completed++
+	if w.completed == w.Cfg.TargetOps {
+		w.DoneAt = s.Eng.Now()
+		if w.OnDone != nil {
+			w.OnDone()
+		}
+		return
+	}
+	if !w.Cfg.OpenLoop && req.c.quota > 0 {
+		req.c.issue()
+	}
+}
+
+// Completed reports ops finished so far.
+func (w *Workload) Completed() int { return w.completed }
+
+// Issued reports ops issued so far.
+func (w *Workload) Issued() int { return w.issued }
+
+// ---------------------------------------------------------------------------
+// Host-level hot-key front cache: a bounded LRU of keys recently fetched
+// by any client on the host. Only presence is cached (values are not
+// modelled); a hit completes the get at the client tier. Sets by local
+// clients invalidate; remote writers leave entries stale until they age
+// out — the documented coherence tradeoff of look-aside front caches.
+
+type frontCache struct {
+	cap   int
+	items map[string]int // key -> stamp
+	order []string       // insertion ring for eviction
+	clock int
+}
+
+func newFrontCache(capacity int) *frontCache {
+	return &frontCache{cap: capacity, items: make(map[string]int)}
+}
+
+func (f *frontCache) setCapacity(capacity int) {
+	if capacity > f.cap {
+		f.cap = capacity
+	}
+}
+
+func (f *frontCache) get(key string) bool {
+	if f.cap <= 0 {
+		return false
+	}
+	_, ok := f.items[key]
+	return ok
+}
+
+func (f *frontCache) add(key string) {
+	if f.cap <= 0 {
+		return
+	}
+	if _, ok := f.items[key]; ok {
+		return
+	}
+	f.clock++
+	f.items[key] = f.clock
+	f.order = append(f.order, key)
+	for len(f.items) > f.cap && len(f.order) > 0 {
+		victim := f.order[0]
+		f.order = f.order[1:]
+		if _, ok := f.items[victim]; ok {
+			delete(f.items, victim)
+		}
+	}
+}
+
+func (f *frontCache) invalidate(key string) {
+	delete(f.items, key)
+}

@@ -85,10 +85,14 @@ func (r *Rand) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(r.Normal(mu, sigma))
 }
 
-// Zipf returns values in [0, n) with a Zipfian distribution of exponent s>1
-// approximated by inverse-CDF sampling over a precomputed table is too
-// costly for large n, so we use the rejection-free approximation of
-// Gray et al.: x = n^(u^(1/(1-s))) ... clamped to the range.
+// Zipf returns values in [0, n) with a Zipfian distribution of exponent
+// s>1 (s<=1 is clamped): rank 0 is the hottest. A precomputed inverse-CDF
+// table is too costly for large n, so we invert the continuous density
+// p(k) ∝ k^-s over [1, n] in closed form:
+//
+//	k = (1 + u·(n^(1-s) − 1))^(1/(1-s))
+//
+// which is rejection-free and allocation-free.
 func (r *Rand) Zipf(n int, s float64) int {
 	if n <= 1 {
 		return 0
@@ -100,7 +104,8 @@ func (r *Rand) Zipf(n int, s float64) int {
 	for u == 0 {
 		u = r.Float64()
 	}
-	x := int(math.Pow(float64(n), math.Pow(u, 1/(1-s)))) - 1
+	k := math.Pow(1+u*(math.Pow(float64(n), 1-s)-1), 1/(1-s))
+	x := int(k) - 1
 	if x < 0 {
 		x = 0
 	}

@@ -1,0 +1,96 @@
+package sim
+
+import "testing"
+
+func TestZipfBounds(t *testing.T) {
+	r := NewRand(11)
+	for _, n := range []int{1, 2, 3, 64, 4096} {
+		for i := 0; i < 5000; i++ {
+			x := r.Zipf(n, 1.1)
+			if x < 0 || x >= n {
+				t.Fatalf("Zipf(%d, 1.1) = %d out of [0, %d)", n, x, n)
+			}
+		}
+	}
+	if x := r.Zipf(1, 1.1); x != 0 {
+		t.Fatalf("Zipf(1, ·) = %d, want 0", x)
+	}
+	if x := r.Zipf(0, 1.1); x != 0 {
+		t.Fatalf("Zipf(0, ·) = %d, want 0", x)
+	}
+	if x := r.Zipf(-3, 1.1); x != 0 {
+		t.Fatalf("Zipf(-3, ·) = %d, want 0", x)
+	}
+}
+
+func TestZipfExponentClamp(t *testing.T) {
+	// s <= 1 is clamped rather than producing NaN/panic; draws must stay
+	// in range and still be usable.
+	r := NewRand(12)
+	for _, s := range []float64{1.0, 0.5, 0, -2} {
+		for i := 0; i < 2000; i++ {
+			x := r.Zipf(100, s)
+			if x < 0 || x >= 100 {
+				t.Fatalf("Zipf(100, %g) = %d out of range", s, x)
+			}
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// Rank 0 must dominate, and a larger exponent must concentrate more
+	// mass on the low ranks.
+	const n, draws = 1000, 200_000
+	headMass := func(s float64) float64 {
+		r := NewRand(13)
+		head := 0
+		for i := 0; i < draws; i++ {
+			if r.Zipf(n, s) < 10 {
+				head++
+			}
+		}
+		return float64(head) / draws
+	}
+	mild, steep := headMass(1.1), headMass(1.5)
+	if mild < 0.3 {
+		t.Fatalf("Zipf(·, 1.1) head-10 mass = %.3f, want >= 0.3", mild)
+	}
+	if steep <= mild {
+		t.Fatalf("steeper exponent did not concentrate: s=1.5 mass %.3f <= s=1.1 mass %.3f", steep, mild)
+	}
+
+	// Frequency must be non-increasing in rank on a coarse scale.
+	r := NewRand(14)
+	var buckets [4]int // ranks [0,10), [10,100), [100,400), [400,1000)
+	for i := 0; i < draws; i++ {
+		switch x := r.Zipf(n, 1.2); {
+		case x < 10:
+			buckets[0]++
+		case x < 100:
+			buckets[1]++
+		case x < 400:
+			buckets[2]++
+		default:
+			buckets[3]++
+		}
+	}
+	if buckets[0] <= buckets[3] {
+		t.Fatalf("head ranks drawn no more often than tail: %v", buckets)
+	}
+}
+
+func TestZipfSameSeedDeterminism(t *testing.T) {
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 10_000; i++ {
+		if x, y := a.Zipf(512, 1.1), b.Zipf(512, 1.1); x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+	// Split streams are deterministic too, and independent of each other.
+	a, b = NewRand(99).Split(), NewRand(99).Split()
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Zipf(512, 1.1), b.Zipf(512, 1.1); x != y {
+			t.Fatalf("split draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"npf/internal/core"
 	"npf/internal/fabric"
 	"npf/internal/iommu"
+	"npf/internal/kv"
 	"npf/internal/mem"
 	"npf/internal/nic"
 	"npf/internal/rc"
@@ -261,6 +262,45 @@ type (
 // SetTracer methods; the Cluster facade wires it everywhere when built
 // WithTracing (or WithChaos, which implies tracing).
 func NewTracer(eng *Engine) *Tracer { return trace.New(eng) }
+
+// Distributed key-value service (internal/kv).
+type (
+	// KVService is a sharded, replicated key-value store deployed across
+	// simulated hosts on the cluster fabric; deploy one with WithKV (or
+	// NewKVService for simulations assembled without the facade).
+	KVService = kv.Service
+	// KVConfig sizes a deployment; a zero value is a small but fully
+	// functional one.
+	KVConfig = kv.Config
+	// KVHost is one machine of the deployment (servers first, then
+	// clients).
+	KVHost = kv.HostNode
+	// KVWorkload is a load generator with per-op latency accounting;
+	// KVWorkloadConfig shapes it (Zipf skew, open/closed loop, tenant).
+	KVWorkload       = kv.Workload
+	KVWorkloadConfig = kv.WorkloadConfig
+	// KVRegPolicy selects how server memory is registered with the NICs;
+	// KVTransport selects the wire protocol.
+	KVRegPolicy = kv.RegPolicy
+	KVTransport = kv.Transport
+)
+
+// KV registration policies (the paper's Table 3 spectrum applied to a
+// service) and transports.
+const (
+	KVRegODP     = kv.RegODP
+	KVRegPinDown = kv.RegPinDown
+	KVRegPinned  = kv.RegPinned
+
+	KVTransportTCP = kv.TransportTCP
+	KVTransportRC  = kv.TransportRC
+)
+
+// NewKVService deploys a KV service on an explicitly assembled engine and
+// fabric; tr may be nil. Most users deploy through NewCluster(WithKV(cfg)).
+func NewKVService(eng *Engine, net *Network, tr *Tracer, cfg KVConfig) *KVService {
+	return kv.New(eng, net, tr, cfg)
+}
 
 // Fault injection (internal/chaos).
 type (

@@ -226,3 +226,57 @@ func TestChannelScopedChaos(t *testing.T) {
 		t.Fatal("channel-level WithChaos must create a tracer")
 	}
 }
+
+// TestClusterWithKV deploys the distributed KV service through the facade,
+// drives a workload to completion, and checks the chaos plan's target set
+// picked up the service's layers.
+func TestClusterWithKV(t *testing.T) {
+	plan := NewChaosPlan(MemoryPressure{
+		At: 5 * Millisecond, Period: 10 * Millisecond, Waves: 3,
+		LowBytes: 64 << 10, HighBytes: 0,
+	})
+	cluster := NewCluster(WithSeed(7),
+		WithKV(KVConfig{ServerHosts: 3, ClientHosts: 1, Shards: 4}),
+		WithChaos(plan))
+	if cluster.KV == nil {
+		t.Fatal("WithKV left Cluster.KV nil")
+	}
+	ij := cluster.Injector()
+	if len(ij.T.Groups) == 0 || len(ij.T.Drivers) == 0 || len(ij.T.Devs) == 0 {
+		t.Fatal("KV layers did not join the chaos target set")
+	}
+	wl := cluster.KV.NewWorkload(KVWorkloadConfig{
+		TargetOps: 600, Keys: 256, Prepopulate: true,
+	})
+	wl.OnDone = func() {
+		cluster.Eng.After(300*Millisecond, func() { cluster.KV.Stop() })
+	}
+	wl.Start()
+	cluster.Eng.RunUntil(60 * Second)
+	if wl.Completed() != 600 {
+		t.Fatalf("completed %d of 600 ops", wl.Completed())
+	}
+	if got := cluster.KV.CheckConsistency(); len(got) != 0 {
+		t.Fatalf("replicas diverged: %v", got)
+	}
+	if cluster.KV.GroupEvictions() == 0 {
+		t.Fatal("memory-pressure waves never squeezed the shard groups")
+	}
+}
+
+// TestClusterWithKVOverRC checks the facade pairing of KVTransportRC with an
+// InfiniBand fabric.
+func TestClusterWithKVOverRC(t *testing.T) {
+	cluster := NewCluster(WithSeed(8), WithFabric(InfiniBandFabric()),
+		WithKV(KVConfig{ServerHosts: 3, ClientHosts: 1, Shards: 4,
+			Transport: KVTransportRC, Reg: KVRegPinned}))
+	wl := cluster.KV.NewWorkload(KVWorkloadConfig{TargetOps: 400, Keys: 256, Prepopulate: true})
+	wl.OnDone = func() {
+		cluster.Eng.After(300*Millisecond, func() { cluster.KV.Stop() })
+	}
+	wl.Start()
+	cluster.Eng.RunUntil(60 * Second)
+	if wl.Completed() != 400 {
+		t.Fatalf("completed %d of 400 ops", wl.Completed())
+	}
+}

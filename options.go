@@ -15,6 +15,7 @@ type clusterConfig struct {
 	trace       bool
 	sampleEvery Time
 	plan        *ChaosPlan
+	kv          *KVConfig
 }
 
 type hostConfig struct {
@@ -68,6 +69,21 @@ func WithSampling(every Time) ClusterOption {
 		c.trace = true
 		c.sampleEvery = every
 	})
+}
+
+// WithKV deploys a sharded, replicated key-value service across the
+// cluster's fabric: cfg.ServerHosts machines of shard replicas plus
+// cfg.ClientHosts machines for workload generators, all built on the
+// cluster's engine and fabric. The service is reachable as Cluster.KV;
+// start it (or a workload, which starts it implicitly) before Run. When the
+// cluster also carries a WithChaos plan, every KV host's driver, device,
+// cgroup, and address space joins the plan's target set, so cluster-level
+// faults (MemoryPressure, InvalidationChaos, LinkFlap, ...) land on the
+// service. A zero KVConfig is a small but fully functional deployment; the
+// fabric transport follows cfg.Transport, so pair KVTransportRC with
+// WithFabric(InfiniBandFabric()).
+func WithKV(cfg KVConfig) ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.kv = &cfg })
 }
 
 // WithRAM sets the host's physical memory in bytes (default 8 GiB).

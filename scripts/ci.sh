@@ -70,8 +70,10 @@ fi
 echo "== sweep runner race check =="
 go test -race -run 'TestRunParallel' ./internal/bench/
 
-# Chaos smoke matrix: every named fault-injection scenario must pass its
-# invariants (npfbench -chaos exits non-zero otherwise) under two seeds.
+# Chaos smoke matrix: every named fault-injection scenario — including the
+# distributed-KV ones (invalidation storm, replica link flap, memory
+# pressure) — must pass its invariants (npfbench -chaos exits non-zero
+# otherwise) under two seeds.
 echo "== chaos scenario matrix =="
 for seed in 1 7; do
     go run ./cmd/npfbench -chaos all -seed "$seed" > /dev/null
@@ -93,7 +95,7 @@ echo "== npfbench -json artifact check =="
 tmpjson=$(mktemp)
 tmpseries=$(mktemp)
 trap 'rm -f "$tmpjson" "$tmpseries"' EXIT
-go run ./cmd/npfbench -quick -parallel 0 -series "$tmpseries" -json "$tmpjson" fig3 ablate > /dev/null
+go run ./cmd/npfbench -quick -parallel 0 -series "$tmpseries" -json "$tmpjson" fig3 ablate kv > /dev/null
 python3 - "$tmpjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -104,21 +106,31 @@ assert doc["engine_bench"]["events_per_sec"] > 0, doc["engine_bench"]
 assert doc["series"]["samples"] > 0 and doc["series"]["metrics"] > 0, doc.get("series")
 assert len(doc["series"]["digest"]) == 16, doc["series"]
 names = [e["name"] for e in doc["experiments"]]
-assert names == ["fig3", "ablate"], names
+assert names == ["fig3", "ablate", "kv"], names
 for e in doc["experiments"]:
     assert e["engines"] > 0 and e["events"] > 0, e
+kv = doc["kv"]
+assert [r["policy"] for r in kv] == ["odp", "pin-down-cache", "pinned"], kv
+for r in kv:
+    assert r["ops"] > 0 and r["p99_us"] > 0 and r["failovers"] == 0, r
+assert kv[0]["npfs"] > 0 and kv[0]["evictions"] > 0, kv[0]   # ODP bends
+assert kv[-1]["npfs"] == 0 and kv[-1]["evictions"] == 0, kv[-1]  # pinned doesn't
 print("artifact ok:", ", ".join(
     f"{e['name']}={e['events']} events/{e['engines']} engines" for e in doc["experiments"]))
+print("kv ablation ok:", ", ".join(
+    f"{r['policy']}: p99={r['p99_us']:.0f}us npfs={r['npfs']}" for r in kv))
 EOF
 
 # npfstat regression gate: the quick run above must stay within generous
-# deltas of the committed baseline. Structural drift (missing experiments,
-# engine-count changes, event counts beyond -count-tol, allocs/op
-# regressions) hard-fails; wall-clock deltas are machine noise and only
-# warn. The -series capture adds a handful of sampler tick events per
-# engine, which -count-tol comfortably absorbs.
+# deltas of the committed baseline (BENCH_pr6.json, the current reference:
+# the full quick suite plus the KV ablation section). Structural drift
+# (missing experiments, engine-count changes, event counts beyond
+# -count-tol, KV metric drift, allocs/op regressions) hard-fails;
+# wall-clock deltas are machine noise and only warn. The -series capture
+# adds a handful of sampler tick events per engine, which -count-tol
+# comfortably absorbs.
 echo "== npfstat regression gate =="
-go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_baseline.json "$tmpjson"
+go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr6.json "$tmpjson"
 
 # npfstat render smoke: the series CSV written above must parse and render.
 echo "== npfstat render smoke =="
