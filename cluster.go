@@ -18,53 +18,154 @@ import (
 //
 //	cluster := npf.NewCluster(npf.WithSeed(42), npf.WithFabric(npf.EthernetFabric()))
 type Cluster struct {
+	// Eng is the cluster's engine — with WithEngines(n>1), partition 0's
+	// engine, where chaos plans and the KV server tier live.
 	Eng *Engine
 	Net *Network
+	// Group is non-nil when the cluster was built with WithEngines(n>1):
+	// the conservative-lookahead PDES group the partitions run under. Use
+	// Run/RunUntil (or Group.Run directly) to drive a partitioned cluster;
+	// Eng.Run would advance partition 0 alone.
+	Group *EngineGroup
 	// Tracer is non-nil when the cluster was built with WithTracing or
-	// WithChaos; it is wired through every host built afterwards.
+	// WithChaos; it is wired through every host built afterwards. On a
+	// partitioned cluster it is partition 0's tracer — each partition owns
+	// one (Tracers), since a tracer may only be driven by its own engine.
 	Tracer *Tracer
+	// Tracers holds one tracer per partition when tracing is on
+	// (Tracers[0] == Tracer); a single-engine cluster has just the one.
+	Tracers []*Tracer
 	// Sampler is non-nil when the cluster was built with WithSampling; it
-	// snapshots all metrics every interval of virtual time.
+	// snapshots all metrics every interval of virtual time. On a
+	// partitioned cluster it samples partition 0's tracer.
 	Sampler *Sampler
 	// KV is non-nil when the cluster was built with WithKV: a sharded,
 	// replicated key-value service deployed across the fabric.
 	KV *KVService
 
 	injector *chaos.Injector
+	nextPart int
 }
 
 // NewCluster creates an engine and fabric in one call. Defaults: seed 1,
-// Ethernet fabric, no tracing, no chaos.
+// Ethernet fabric, one sequential engine, no tracing, no chaos.
 func NewCluster(opts ...ClusterOption) *Cluster {
 	cfg := clusterConfig{seed: 1, fabric: EthernetFabric()}
 	for _, o := range opts {
 		o.applyCluster(&cfg)
 	}
-	eng := sim.NewEngine(cfg.seed)
-	c := &Cluster{Eng: eng, Net: fabric.New(eng, cfg.fabric)}
+	c := &Cluster{}
+	if cfg.engines > 1 {
+		c.Group = sim.NewGroup(cfg.seed, cfg.engines, cfg.fabric.Lookahead())
+		c.Group.SetThreads(cfg.engines)
+		c.Eng = c.Group.Engine(0)
+		c.Net = fabric.NewOnGroup(c.Group, cfg.fabric)
+	} else {
+		c.Eng = sim.NewEngine(cfg.seed)
+		c.Net = fabric.New(c.Eng, cfg.fabric)
+	}
 	if cfg.trace || cfg.plan != nil {
-		c.Tracer = trace.New(eng)
+		for _, e := range c.engines() {
+			c.Tracers = append(c.Tracers, trace.New(e))
+		}
+		c.Tracer = c.Tracers[0]
 	}
 	if cfg.sampleEvery > 0 {
 		c.Sampler = c.Tracer.StartSampler(cfg.sampleEvery)
 	}
 	if cfg.plan != nil {
 		// Arm now; hosts and devices created later register themselves with
-		// the injector's live target set before the engine runs.
-		c.injector = chaos.Arm(cfg.plan, chaos.Targets{Eng: eng, Net: c.Net, Tracer: c.Tracer})
+		// the injector's live target set before the engine runs. The plan is
+		// armed on (and its activations run on) partition 0's engine, so on
+		// a partitioned cluster only partition-0 components may join it.
+		c.injector = chaos.Arm(cfg.plan, chaos.Targets{Eng: c.Eng, Net: c.Net, Tracer: c.Tracer})
 	}
 	if cfg.kv != nil {
-		c.KV = kv.New(eng, c.Net, c.Tracer, *cfg.kv)
+		kcfg := *cfg.kv
+		if c.Group != nil && len(c.Tracers) > 1 {
+			kcfg.ClientTracer = c.Tracers[1]
+		}
+		c.KV = kv.New(c.Eng, c.Net, c.Tracer, kcfg)
 		if ij := c.injector; ij != nil {
-			ij.T.Devs = append(ij.T.Devs, c.KV.Devices()...)
-			ij.T.HCAs = append(ij.T.HCAs, c.KV.HCAs()...)
-			ij.T.Drivers = append(ij.T.Drivers, c.KV.Drivers()...)
+			if c.Group != nil {
+				// Partitioned: the client tier lives on partition 1, out of
+				// the injector's reach — register the server tier only.
+				ij.T.Devs = append(ij.T.Devs, c.KV.ServerDevices()...)
+				ij.T.HCAs = append(ij.T.HCAs, c.KV.ServerHCAs()...)
+				ij.T.Drivers = append(ij.T.Drivers, c.KV.ServerDrivers()...)
+			} else {
+				ij.T.Devs = append(ij.T.Devs, c.KV.Devices()...)
+				ij.T.HCAs = append(ij.T.HCAs, c.KV.HCAs()...)
+				ij.T.Drivers = append(ij.T.Drivers, c.KV.Drivers()...)
+			}
+			// Shard groups, value arenas, and transport buffers are all
+			// server-tier state regardless of partitioning.
 			ij.T.Groups = append(ij.T.Groups, c.KV.Groups()...)
 			ij.T.Spaces = append(ij.T.Spaces, c.KV.Spaces()...)
 			ij.T.Spaces = append(ij.T.Spaces, c.KV.NetSpaces()...)
 		}
 	}
 	return c
+}
+
+// engines lists every engine: the group's partitions, or the single one.
+func (c *Cluster) engines() []*Engine {
+	if c.Group != nil {
+		return c.Group.Engines()
+	}
+	return []*Engine{c.Eng}
+}
+
+// EngineFor returns partition part's engine — the engine to schedule work
+// against a host placed there. On a single-engine cluster every partition
+// maps to the one engine.
+func (c *Cluster) EngineFor(part int) *Engine {
+	if c.Group != nil {
+		return c.Group.Engine(part)
+	}
+	return c.Eng
+}
+
+// tracerFor returns the partition's tracer (nil when tracing is off).
+func (c *Cluster) tracerFor(part int) *Tracer {
+	if len(c.Tracers) == 0 {
+		return nil
+	}
+	if c.Group != nil {
+		return c.Tracers[part]
+	}
+	return c.Tracer
+}
+
+// Run drives the whole cluster — every partition — to quiescence and
+// returns the final virtual time.
+func (c *Cluster) Run() Time {
+	if c.Group != nil {
+		return c.Group.Run()
+	}
+	return c.Eng.Run()
+}
+
+// RunUntil drives the whole cluster to the horizon (or quiescence,
+// whichever comes first) and returns the final virtual time.
+func (c *Cluster) RunUntil(until Time) Time {
+	if c.Group != nil {
+		return c.Group.RunUntil(until)
+	}
+	return c.Eng.RunUntil(until)
+}
+
+// Digest condenses every partition's trace into one value; same-seed runs
+// produce identical digests for any engine/thread count. Zero when the
+// cluster was built without tracing.
+func (c *Cluster) Digest() uint64 {
+	if len(c.Tracers) == 0 {
+		return 0
+	}
+	if len(c.Tracers) == 1 {
+		return c.Tracer.Digest()
+	}
+	return trace.DigestAll(c.Tracers)
 }
 
 // NewClusterSeed creates a cluster from positional parameters.
@@ -81,7 +182,13 @@ func (c *Cluster) Injector() *chaos.Injector { return c.injector }
 // Host is one machine: memory, an NPF driver, and optionally a NIC and/or
 // an HCA.
 type Host struct {
-	Name    string
+	Name string
+	// Eng is the engine the host's components live on: its partition's
+	// engine under WithEngines, the cluster engine otherwise. Schedule any
+	// work touching this host (sends, chaos callbacks, stops) here.
+	Eng *Engine
+	// Part is the host's PDES partition (0 on a single-engine cluster).
+	Part    int
 	Machine *Machine
 	Driver  *Driver
 	NIC     *Device
@@ -91,21 +198,37 @@ type Host struct {
 }
 
 // NewHost adds a machine and an NPF driver. Defaults: 8 GiB of RAM,
-// DefaultDriverConfig(); override with WithRAM and WithDriverConfig.
+// DefaultDriverConfig(); override with WithRAM and WithDriverConfig. On a
+// partitioned cluster the host lands on the next partition round-robin
+// unless WithPartition pins it; everything the host builds afterwards
+// lives on that partition's engine and tracer.
 func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
-	cfg := hostConfig{ram: 8 << 30, driver: core.DefaultConfig()}
+	cfg := hostConfig{ram: 8 << 30, driver: core.DefaultConfig(), part: -1}
 	for _, o := range opts {
 		o.applyHost(&cfg)
 	}
+	part := cfg.part
+	if c.Group == nil {
+		part = 0
+	} else if part < 0 {
+		part = c.nextPart % c.Group.Parts()
+		c.nextPart++
+	}
+	eng := c.EngineFor(part)
+	tr := c.tracerFor(part)
 	h := &Host{
 		Name:    name,
-		Machine: mem.NewMachine(c.Eng, cfg.ram),
-		Driver:  core.NewDriver(c.Eng, cfg.driver),
+		Eng:     eng,
+		Part:    part,
+		Machine: mem.NewMachine(eng, cfg.ram),
+		Driver:  core.NewDriver(eng, cfg.driver),
 		cluster: c,
 	}
-	h.Machine.SetTracer(c.Tracer)
-	h.Driver.SetTracer(c.Tracer)
-	if c.injector != nil {
+	h.Machine.SetTracer(tr)
+	h.Driver.SetTracer(tr)
+	// Cluster-level chaos activations run on partition 0; hosts elsewhere
+	// are out of the injector's reach and must stay unregistered.
+	if c.injector != nil && part == 0 {
 		c.injector.T.Drivers = append(c.injector.T.Drivers, h.Driver)
 	}
 	return h
@@ -120,10 +243,10 @@ func (c *Cluster) NewHostRAM(name string, ramBytes int64) *Host {
 
 // AttachNIC gives the host an Ethernet NIC wired to its driver.
 func (h *Host) AttachNIC() *Device {
-	h.NIC = nic.NewDevice(h.cluster.Eng, h.cluster.Net, nic.DefaultConfig())
-	h.NIC.SetTracer(h.cluster.Tracer)
+	h.NIC = nic.NewDevice(h.Eng, h.cluster.Net, nic.DefaultConfig())
+	h.NIC.SetTracer(h.cluster.tracerFor(h.Part))
 	h.Driver.AttachDevice(h.NIC)
-	if ij := h.cluster.injector; ij != nil {
+	if ij := h.cluster.injector; ij != nil && h.Part == 0 {
 		ij.T.Devs = append(ij.T.Devs, h.NIC)
 	}
 	return h.NIC
@@ -131,10 +254,10 @@ func (h *Host) AttachNIC() *Device {
 
 // AttachHCA gives the host an InfiniBand adapter wired to its driver.
 func (h *Host) AttachHCA() *HCA {
-	h.HCA = rc.NewHCA(h.cluster.Eng, h.cluster.Net, rc.DefaultConfig())
-	h.HCA.SetTracer(h.cluster.Tracer)
+	h.HCA = rc.NewHCA(h.Eng, h.cluster.Net, rc.DefaultConfig())
+	h.HCA.SetTracer(h.cluster.tracerFor(h.Part))
 	h.Driver.AttachHCA(h.HCA)
-	if ij := h.cluster.injector; ij != nil {
+	if ij := h.cluster.injector; ij != nil && h.Part == 0 {
 		ij.T.HCAs = append(ij.T.HCAs, h.HCA)
 	}
 	return h.HCA
@@ -145,7 +268,7 @@ func (h *Host) AttachHCA() *HCA {
 // (MemoryPressure waves target registered groups).
 func (h *Host) NewProcess(name string, cgroup *MemGroup) *AddressSpace {
 	as := h.Machine.NewAddressSpace(name, cgroup)
-	if ij := h.cluster.injector; ij != nil {
+	if ij := h.cluster.injector; ij != nil && h.Part == 0 {
 		ij.T.Spaces = append(ij.T.Spaces, as)
 		if cgroup != nil {
 			ij.T.Groups = append(ij.T.Groups, cgroup)
@@ -176,15 +299,21 @@ func (h *Host) OpenChannel(as *AddressSpace, opts ...ChannelOption) *Channel {
 	}
 	if cfg.plan != nil {
 		if h.cluster.Tracer == nil {
-			h.cluster.Tracer = trace.New(h.cluster.Eng)
+			for _, e := range h.cluster.engines() {
+				h.cluster.Tracers = append(h.cluster.Tracers, trace.New(e))
+			}
+			h.cluster.Tracer = h.cluster.Tracers[0]
 		}
+		// A per-channel plan targets this host only, so it arms on the
+		// host's own engine — on a partitioned cluster its activations run
+		// on the host's partition, wherever that is.
 		chaos.Arm(cfg.plan, chaos.Targets{
-			Eng:     h.cluster.Eng,
+			Eng:     h.Eng,
 			Net:     h.cluster.Net,
 			Devs:    []*Device{h.NIC},
 			Drivers: []*Driver{h.Driver},
 			Spaces:  []*AddressSpace{as},
-			Tracer:  h.cluster.Tracer,
+			Tracer:  h.cluster.tracerFor(h.Part),
 		})
 	}
 	return ch

@@ -4,6 +4,10 @@
 //
 //	npfbench fig3 table4 fig4a fig4b table5 fig7 fig8a fig8b fig9 table6 fig10 ablate loc kv
 //
+// The extra "scale" experiment (not in the default set) times fig4a and
+// table5 as partitioned PDES runs at engine-thread budgets 1 and 8 and
+// records the speedup in the -json artifact's "scaling" section.
+//
 // Flags:
 //
 //	-quick      smaller trial counts / shorter runs (CI-friendly)
@@ -12,6 +16,11 @@
 //	-root       repository root for the loc experiment (default ".")
 //	-parallel   fan independent sweep jobs across N worker goroutines
 //	            (0 = one per CPU); results are byte-identical to -parallel 1
+//	-engines    partitioned PDES mode: build every env as a multi-engine
+//	            sim.Group (one engine per host side, conservative lookahead
+//	            sync) with a total worker-thread budget of N; results are
+//	            byte-identical for every N >= 1 (0 = historical
+//	            single-engine mode). Applies to -chaos scenarios too.
 //	-json       write a machine-readable BENCH_results.json-style artifact
 //	            (wall clock, simulated events/sec, engine microbenchmark)
 //	-trace      write a Chrome trace_event JSON (load in Perfetto /
@@ -35,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -111,16 +121,87 @@ type kvRow struct {
 	Failovers uint64  `json:"failovers"`
 }
 
+// scalingRow is one experiment's PDES speedup record in the -json artifact
+// (the "scale" pseudo-experiment): the same partitioned run timed under a
+// 1-thread and an 8-thread engine budget. The partition structure is fixed
+// by the env shape, not the budget, so the event count must agree exactly
+// between the two runs — only wall clock may differ.
+type scalingRow struct {
+	Name    string  `json:"name"`
+	Wall1Ms float64 `json:"engines1_wall_ms"`
+	Wall8Ms float64 `json:"engines8_wall_ms"`
+	Speedup float64 `json:"speedup"`
+	Events  uint64  `json:"events"`
+}
+
 // benchArtifact is the top-level -json document.
 type benchArtifact struct {
 	GoVersion   string                  `json:"go_version"`
 	GOMAXPROCS  int                     `json:"gomaxprocs"`
 	Parallel    int                     `json:"parallel"`
+	Engines     int                     `json:"engines"`
 	Quick       bool                    `json:"quick"`
 	EngineBench bench.EngineBenchResult `json:"engine_bench"`
 	Series      *seriesSummary          `json:"series,omitempty"`
 	KV          []kvRow                 `json:"kv,omitempty"`
+	Scaling     []scalingRow            `json:"scaling,omitempty"`
 	Experiments []expResult             `json:"experiments"`
+}
+
+// runScale times fig4a and table5 as partitioned PDES runs at engine-thread
+// budgets 1 and 8, hard-failing if the event counts differ (they are the
+// same simulation; the budget may only change wall clock). The rows land in
+// the artifact's "scaling" section.
+func runScale(quick bool) ([]scalingRow, string) {
+	dur := 80 * sim.Second
+	if quick {
+		dur = 30 * sim.Second
+	}
+	exps := []struct {
+		name string
+		run  func()
+	}{
+		{"fig4a", func() { bench.RunFig4a(dur) }},
+		{"table5", func() { bench.RunTable5() }},
+	}
+	saved := bench.Engines
+	defer func() { bench.Engines = saved }()
+	var rows []scalingRow
+	var b strings.Builder
+	b.WriteString("PDES scaling: identical partitioned run, engine-thread budget 1 vs 8\n")
+	if procs := runtime.GOMAXPROCS(0); procs < 8 {
+		fmt.Fprintf(&b, "  (host has %d usable CPU(s): the budget-8 run timeshares, so the\n"+
+			"   ratio measures scheduling overhead, not parallel speedup)\n", procs)
+	}
+	for _, ex := range exps {
+		row := scalingRow{Name: ex.name}
+		for _, n := range []int{1, 8} {
+			bench.Engines = n
+			bench.StartEngineStats()
+			start := time.Now()
+			ex.run()
+			wall := float64(time.Since(start).Microseconds()) / 1000
+			_, events := bench.StopEngineStats()
+			if n == 1 {
+				row.Wall1Ms, row.Events = wall, events
+			} else {
+				row.Wall8Ms = wall
+				if events != row.Events {
+					fmt.Fprintf(os.Stderr,
+						"scale: %s event count diverged across thread budgets: %d vs %d\n",
+						ex.name, row.Events, events)
+					os.Exit(1)
+				}
+			}
+		}
+		if row.Wall8Ms > 0 {
+			row.Speedup = row.Wall1Ms / row.Wall8Ms
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(&b, "  %-8s %9.0f ms -> %7.0f ms   %.2fx   (%d events, identical)\n",
+			ex.name, row.Wall1Ms, row.Wall8Ms, row.Speedup, row.Events)
+	}
+	return rows, b.String()
 }
 
 // kvRows flattens the KV ablation result into artifact rows.
@@ -145,6 +226,7 @@ func main() {
 	kvExp := flag.Bool("kv", false, "append the distributed-KV ablation to the selected experiments")
 	root := flag.String("root", ".", "repository root (for the loc experiment)")
 	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
+	engines := flag.Int("engines", 0, "partitioned PDES engine-thread budget (0 = single-engine mode)")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	traceOut := flag.String("trace", "", "write Chrome trace JSON to this file")
 	seriesOut := flag.String("series", "", "write sampled metric time-series CSV to this file")
@@ -158,6 +240,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *engines < 0 {
+		fmt.Fprintln(os.Stderr, "-engines must be >= 0")
+		os.Exit(2)
+	}
+	chaos.Engines = *engines
+
 	if *chaosName != "" {
 		os.Exit(runChaos(*chaosName, *seed))
 	}
@@ -166,6 +254,7 @@ func main() {
 		*parallel = bench.DefaultWorkers()
 	}
 	bench.Workers = *parallel
+	bench.Engines = *engines
 
 	var tracers []*trace.Tracer
 	if *traceOut != "" || *seriesOut != "" {
@@ -205,6 +294,7 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Parallel:   *parallel,
+		Engines:    *engines,
 		Quick:      *quick,
 	}
 
@@ -265,6 +355,11 @@ func main() {
 			r := bench.RunKV(*quick)
 			artifact.KV = kvRows(r)
 			out = r.Render()
+		case "scale":
+			// runScale drives its own engine-stats windows (one per timed
+			// run), so the enclosing window reports zero engines/events for
+			// the "scale" row itself — deterministically.
+			artifact.Scaling, out = runScale(*quick)
 		case "loc":
 			r, err := bench.RunLOC(*root)
 			if err != nil {

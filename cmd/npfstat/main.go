@@ -14,13 +14,15 @@
 //	npfstat BENCH_baseline.json out.json
 //
 // Diff semantics: structural drift — an experiment in the current run that
-// the baseline has never seen, an engine-count mismatch, an event-count
-// delta beyond -count-tol, a KV-ablation metric (ops exactly; p99/npfs/
-// evictions/shed/failovers beyond -count-tol — all virtual-time
-// deterministic), or an allocs/op regression in the engine
-// microbenchmark — is a hard failure (exit 1). Wall-clock and
-// events-per-second deltas are machine-load noise and only warn, unless
-// -fail-on-timing promotes them. Exit codes: 0 pass, 1 fail, 2 usage.
+// the baseline has never seen, an engine-count or event-count mismatch
+// (both exact: engines and events are fully deterministic given the seed,
+// for any -parallel or -engines value), a KV-ablation metric (ops exactly;
+// p99/npfs/evictions/shed/failovers beyond -count-tol — all virtual-time
+// deterministic), a PDES-scaling row with drifted events, or an allocs/op
+// regression in the engine microbenchmark — is a hard failure (exit 1).
+// Wall-clock, events-per-second, and scaling-speedup deltas are
+// machine-load noise and only warn, unless -fail-on-timing promotes them.
+// Exit codes: 0 pass, 1 fail, 2 usage.
 package main
 
 import (
@@ -56,6 +58,17 @@ type kvRow struct {
 	Failovers uint64  `json:"failovers"`
 }
 
+// scalingRow mirrors npfbench's PDES-scaling record ("scale" experiment).
+// The event count is the same partitioned simulation at two thread budgets
+// and must agree exactly; the wall clocks and speedup are timing.
+type scalingRow struct {
+	Name    string  `json:"name"`
+	Wall1Ms float64 `json:"engines1_wall_ms"`
+	Wall8Ms float64 `json:"engines8_wall_ms"`
+	Speedup float64 `json:"speedup"`
+	Events  uint64  `json:"events"`
+}
+
 // artifact mirrors the npfbench -json document (fields npfstat reads).
 type artifact struct {
 	GoVersion   string `json:"go_version"`
@@ -71,8 +84,9 @@ type artifact struct {
 		Metrics int    `json:"metrics"`
 		Digest  string `json:"digest"`
 	} `json:"series,omitempty"`
-	KV          []kvRow  `json:"kv,omitempty"`
-	Experiments []expRow `json:"experiments"`
+	KV          []kvRow      `json:"kv,omitempty"`
+	Scaling     []scalingRow `json:"scaling,omitempty"`
+	Experiments []expRow     `json:"experiments"`
 }
 
 func readArtifact(path string) (*artifact, error) {
@@ -140,7 +154,7 @@ func fmtDelta(d float64) string {
 
 // diffConfig holds the gate thresholds.
 type diffConfig struct {
-	countTol     float64 // hard-fail threshold on deterministic counts
+	countTol     float64 // hard-fail threshold on KV-ablation count metrics
 	timingTol    float64 // warn threshold on wall-clock metrics
 	failOnTiming bool    // promote timing warnings to failures
 }
@@ -190,11 +204,15 @@ func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
 		} else {
 			rows = append(rows, r)
 		}
+		// Events are exact, like engines: the event stream is a pure
+		// function of the seed, so even a one-event delta is a real
+		// behavioural change (and conservation across -engines counts is
+		// part of the PDES determinism contract).
 		d := relDelta(float64(b.Events), float64(c.Events))
 		r = row{scope: c.Name, metric: "events",
 			base: fmt.Sprint(b.Events), cur: fmt.Sprint(c.Events), delta: fmtDelta(d)}
-		if math.Abs(d) > cfg.countTol {
-			r.note = fmt.Sprintf("beyond count-tol %.2f", cfg.countTol)
+		if c.Events != b.Events {
+			r.note = "event-count drift (deterministic given seed)"
 			fail(r)
 		} else {
 			rows = append(rows, r)
@@ -256,6 +274,36 @@ func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
 			count(scope, "evictions", float64(b.Evictions), float64(c.Evictions))
 			count(scope, "shed", float64(b.Shed), float64(c.Shed))
 			count(scope, "failovers", float64(b.Failovers), float64(c.Failovers))
+		}
+	}
+
+	if len(cur.Scaling) > 0 {
+		scBase := make(map[string]*scalingRow, len(base.Scaling))
+		for i := range base.Scaling {
+			scBase[base.Scaling[i].Name] = &base.Scaling[i]
+		}
+		for i := range cur.Scaling {
+			c := &cur.Scaling[i]
+			scope := "scale/" + c.Name
+			b, ok := scBase[c.Name]
+			if !ok {
+				fail(row{scope: scope, metric: "presence", base: "-", cur: "present",
+					delta: "new", note: "scaling row not in baseline"})
+				continue
+			}
+			// Thread budgets must not change what is simulated.
+			r := row{scope: scope, metric: "events",
+				base: fmt.Sprint(b.Events), cur: fmt.Sprint(c.Events),
+				delta: fmtDelta(relDelta(float64(b.Events), float64(c.Events)))}
+			if c.Events != b.Events {
+				r.note = "event-count drift (deterministic given seed)"
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+			timing(scope, "engines1_wall_ms", b.Wall1Ms, c.Wall1Ms)
+			timing(scope, "engines8_wall_ms", b.Wall8Ms, c.Wall8Ms)
+			timing(scope, "speedup", b.Speedup, c.Speedup)
 		}
 	}
 
@@ -323,7 +371,7 @@ func run(args []string) int {
 	renderPath := fs.String("render", "", "render a -series CSV as terminal sparklines")
 	width := fs.Int("width", 60, "sparkline width for -render")
 	baseline := fs.String("baseline", "", "baseline -json artifact to diff against")
-	countTol := fs.Float64("count-tol", 0.05, "hard-fail threshold on relative event-count delta")
+	countTol := fs.Float64("count-tol", 0.05, "hard-fail threshold on relative KV-ablation metric deltas (engines/events gate exactly)")
 	timingTol := fs.Float64("timing-tol", 0.5, "warn threshold on relative wall-clock deltas")
 	failOnTiming := fs.Bool("fail-on-timing", false, "treat timing warnings as failures")
 	if err := fs.Parse(args); err != nil {

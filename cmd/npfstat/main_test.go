@@ -38,9 +38,9 @@ func TestDiffPassesOnIdenticalRuns(t *testing.T) {
 func TestDiffHardFailures(t *testing.T) {
 	base := mkArtifact(1000, 3, 50, 0)
 	for name, cur := range map[string]*artifact{
-		"event drift beyond tol": mkArtifact(1100, 3, 50, 0),
-		"engine mismatch":        mkArtifact(1000, 4, 50, 0),
-		"alloc regression":       mkArtifact(1000, 3, 50, 2),
+		"event drift":      mkArtifact(1100, 3, 50, 0),
+		"engine mismatch":  mkArtifact(1000, 4, 50, 0),
+		"alloc regression": mkArtifact(1000, 3, 50, 2),
 	} {
 		if _, pass := diff(base, cur, defCfg); pass {
 			t.Fatalf("%s: expected hard failure", name)
@@ -75,11 +75,56 @@ func TestDiffTimingOnlyWarns(t *testing.T) {
 	}
 }
 
-func TestDiffCountWithinTolPasses(t *testing.T) {
+func TestDiffEventsGateExactly(t *testing.T) {
+	// Event counts are a pure function of the seed — conservation across
+	// -parallel and -engines values is part of the determinism contract —
+	// so even a single-event delta is a hard failure, count-tol or not.
 	base := mkArtifact(1000, 3, 50, 0)
-	cur := mkArtifact(1030, 3, 50, 0) // +3% < 5% tolerance
-	if _, pass := diff(base, cur, defCfg); !pass {
-		t.Fatal("in-tolerance event drift failed the gate")
+	cur := mkArtifact(1001, 3, 50, 0)
+	if _, pass := diff(base, cur, defCfg); pass {
+		t.Fatal("one-event drift passed the gate")
+	}
+	if _, pass := diff(base, cur, diffConfig{countTol: 0.9, timingTol: 0.5}); pass {
+		t.Fatal("count-tol loosened the exact events gate")
+	}
+}
+
+func mkScaleArtifact(events uint64, w1, w8 float64) *artifact {
+	a := mkArtifact(1000, 3, 50, 0)
+	a.Scaling = []scalingRow{{
+		Name: "fig4a", Wall1Ms: w1, Wall8Ms: w8, Speedup: w1 / w8, Events: events,
+	}}
+	return a
+}
+
+func TestDiffScalingGate(t *testing.T) {
+	base := mkScaleArtifact(5_000_000, 8000, 2000)
+	if _, pass := diff(base, mkScaleArtifact(5_000_000, 8000, 2000), defCfg); !pass {
+		t.Fatal("identical scaling rows failed the gate")
+	}
+	// Wall clock and speedup are machine-load noise: warn only.
+	rows, pass := diff(base, mkScaleArtifact(5_000_000, 16000, 2000), defCfg)
+	if !pass {
+		t.Fatal("scaling wall-clock delta hard-failed")
+	}
+	warned := false
+	for _, r := range rows {
+		if r.scope == "scale/fig4a" && r.v == vWarn {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("no scaling timing warning emitted:\n%+v", rows)
+	}
+	// The event count is the same simulation at two thread budgets: exact.
+	if _, pass := diff(base, mkScaleArtifact(5_000_001, 8000, 2000), defCfg); pass {
+		t.Fatal("scaling event drift passed the gate")
+	}
+	// A scaling row the baseline has never seen is structural drift.
+	cur := mkScaleArtifact(5_000_000, 8000, 2000)
+	cur.Scaling[0].Name = "table9"
+	if _, pass := diff(base, cur, defCfg); pass {
+		t.Fatal("unknown scaling row passed the gate")
 	}
 }
 

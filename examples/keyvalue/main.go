@@ -49,10 +49,10 @@ func run(reg npf.KVRegPolicy) {
 		Prepopulate: true, FrontCacheEntries: 32,
 	})
 	wl.OnDone = func() {
-		cluster.Eng.After(300*npf.Millisecond, func() { svc.Stop() })
+		svc.ClientEngine().After(300*npf.Millisecond, func() { svc.Stop() })
 	}
 	wl.Start()
-	cluster.Eng.RunUntil(60 * npf.Second)
+	cluster.RunUntil(60 * npf.Second)
 
 	if diverged := svc.CheckConsistency(); len(diverged) != 0 {
 		panic(fmt.Sprint("replicas diverged: ", diverged))

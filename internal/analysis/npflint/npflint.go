@@ -12,6 +12,7 @@ import (
 	"npf/internal/analysis/optshim"
 	"npf/internal/analysis/simtime"
 	"npf/internal/analysis/tracesafe"
+	"npf/internal/analysis/xengine"
 )
 
 // Analyzers returns the npflint suite in stable order.
@@ -22,5 +23,6 @@ func Analyzers() []*analysis.Analyzer {
 		optshim.Analyzer,
 		simtime.Analyzer,
 		tracesafe.Analyzer,
+		xengine.Analyzer,
 	}
 }

@@ -1,0 +1,28 @@
+// Package a is a sim-layer fixture: every host-concurrency construct must
+// be flagged unless annotated.
+package a
+
+import (
+	"sync" // want `import of sync in a sim-layer package`
+)
+
+var mu sync.Mutex
+
+var pipe chan int // want `channel type in a sim-layer package`
+
+func spawn() {
+	go spinner() // want `go statement in a sim-layer package`
+}
+
+func spinner() {}
+
+func sendRecv() {
+	pipe <- 1  // want `channel send in a sim-layer package`
+	_ = <-pipe // want `channel receive in a sim-layer package`
+	select {}  // want `select statement in a sim-layer package`
+}
+
+func annotated() {
+	//npf:xengine — reviewed: single-threaded setup before any engine runs
+	go spinner()
+}

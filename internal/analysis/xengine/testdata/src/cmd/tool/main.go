@@ -1,0 +1,14 @@
+// Command tool stands in for a cmd/ binary, where host concurrency (worker
+// pools around whole simulations) is expected; nothing here is flagged.
+package main
+
+import "sync"
+
+func main() {
+	var wg sync.WaitGroup
+	out := make(chan int, 1)
+	wg.Add(1)
+	go func() { defer wg.Done(); out <- 1 }()
+	wg.Wait()
+	<-out
+}

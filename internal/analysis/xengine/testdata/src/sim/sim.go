@@ -1,0 +1,18 @@
+// Package sim stands in for the PDES coordinator: a "sim" path segment is
+// allowlisted, so nothing here is flagged.
+package sim
+
+import "sync"
+
+var mu sync.Mutex
+
+func fanOut(work []func()) {
+	done := make(chan struct{})
+	for _, w := range work {
+		w := w
+		go func() { w(); done <- struct{}{} }()
+	}
+	for range work {
+		<-done
+	}
+}

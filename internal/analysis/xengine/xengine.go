@@ -1,0 +1,108 @@
+// Package xengine defines an analyzer that fences the PDES partition
+// boundary: simulation-layer packages must not reach for host concurrency.
+//
+// Under npf.WithEngines(n) a cluster's hosts are partitioned across
+// per-partition sim.Engines that run on their own goroutines and
+// synchronize conservatively through the fabric lookahead window. The
+// determinism argument (DESIGN §S19) rests on every cross-engine
+// interaction flowing through the timestamped partition mailbox
+// (sim.Group.Post / sim.Engine.Call), which is drained in a fixed
+// (timestamp, sender, sequence) order. A goroutine, channel, or sync/atomic
+// use anywhere else in the sim layer is a side channel around that order:
+// it may look correct single-threaded and silently break byte-identical
+// replay the moment a second engine thread exists. Only internal/sim (the
+// coordinator itself), internal/bench (the job pool around whole
+// simulations), cmd/ binaries, and _test.go files may use them; annotate
+// reviewed exceptions with //npf:xengine.
+package xengine
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"npf/internal/analysis/directive"
+)
+
+const Doc = `forbid host concurrency in sim-layer packages (cross-engine state must use the partition mailbox)
+
+Partitioned runs replay byte-identically because every cross-engine
+interaction goes through the sim.Group mailbox, drained in (timestamp,
+sender, sequence) order. Goroutines, channels, select, and sync/atomic in
+sim-layer packages bypass that order; they are reserved for internal/sim,
+internal/bench, cmd/, and _test.go files. Annotate intentional uses with
+//npf:xengine.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "xengine",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// bannedImports are the host-synchronization packages whose presence in a
+// sim-layer file is itself the violation, independent of call sites.
+var bannedImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if allowlistedPackage(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	report := func(pos token.Pos, what string) {
+		file := pass.Fset.Position(pos).Filename
+		if strings.HasSuffix(file, "_test.go") {
+			return
+		}
+		if dirs.Allows(pass.Fset, "xengine", pos) {
+			return
+		}
+		pass.Reportf(pos, "%s in a sim-layer package: cross-engine interaction must go through the partition mailbox (sim.Group.Post / sim.Engine.Call); annotate //npf:xengine if intentional", what)
+	}
+	ins.Preorder([]ast.Node{
+		(*ast.GoStmt)(nil), (*ast.SelectStmt)(nil), (*ast.SendStmt)(nil),
+		(*ast.UnaryExpr)(nil), (*ast.ChanType)(nil), (*ast.ImportSpec)(nil),
+	}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement")
+		case *ast.SelectStmt:
+			report(n.Pos(), "select statement")
+		case *ast.SendStmt:
+			report(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				report(n.Pos(), "channel receive")
+			}
+		case *ast.ChanType:
+			report(n.Pos(), "channel type")
+		case *ast.ImportSpec:
+			if path, err := strconv.Unquote(n.Path.Value); err == nil && bannedImports[path] {
+				report(n.Pos(), "import of "+path)
+			}
+		}
+	})
+	return nil, nil
+}
+
+// allowlistedPackage reports whether the package legitimately owns host
+// concurrency: the PDES coordinator itself, the bench job pool, analysis
+// tooling, and cmd/ binaries.
+func allowlistedPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		switch seg {
+		case "cmd", "sim", "bench", "analysis":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package xengine_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/xengine"
+)
+
+func TestXengine(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), xengine.Analyzer, "a", "sim", "cmd/tool")
+}

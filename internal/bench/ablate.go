@@ -93,17 +93,20 @@ func RunAblate() *AblateResult {
 			var doneAt sim.Time
 			e.QPB.OnRecv = func(rc.RecvCompletion) {
 				done++
-				doneAt = e.Eng.Now()
+				doneAt = e.EngB.Now()
 				if done < 50 {
 					// Next message into a fresh cold buffer.
+					id := int64(done)
 					base := mem.VAddr(done*msg/mem.PageSize) * mem.PageSize
-					e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: msg})
-					e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: msg})
+					e.QPB.PostRecv(rc.RecvWQE{ID: id, Addr: base, Len: msg})
+					e.EngB.Call(e.Eng, func() {
+						e.QPA.PostSend(rc.SendWQE{ID: id, Laddr: 0, Len: msg})
+					})
 				}
 			}
 			e.QPB.PostRecv(rc.RecvWQE{ID: 0, Addr: 0, Len: msg})
 			e.QPA.PostSend(rc.SendWQE{ID: 0, Laddr: 0, Len: msg})
-			e.Eng.RunUntil(30 * sim.Second)
+			e.RunUntil(30 * sim.Second)
 			res.RNRMs[i] = float64(doneAt) / float64(sim.Millisecond) / 50
 		})
 	}
@@ -143,10 +146,10 @@ func ablateColdSend(prefetch bool) (events float64, ms float64) {
 	const msg = 4 << 20
 	Warm(e.QPA, 0, msg/mem.PageSize) // sender warm; receiver cold
 	var doneAt sim.Time
-	e.QPB.OnRecv = func(rc.RecvCompletion) { doneAt = e.Eng.Now() }
+	e.QPB.OnRecv = func(rc.RecvCompletion) { doneAt = e.EngB.Now() }
 	e.QPB.PostRecv(rc.RecvWQE{ID: 1, Addr: 0, Len: msg})
 	e.QPA.PostSend(rc.SendWQE{ID: 1, Laddr: 0, Len: msg})
-	e.Eng.RunUntil(10 * sim.Second)
+	e.RunUntil(10 * sim.Second)
 	return float64(e.HCAB.Faults.N), float64(doneAt) / float64(sim.Millisecond)
 }
 
@@ -204,7 +207,7 @@ func ablateReadRNR(ext bool) (drops, ms float64) {
 	}
 	e.QPA.OnReadComplete = func(int64) { done++; next() }
 	next()
-	e.Eng.RunUntil(10 * sim.Second)
+	e.RunUntil(10 * sim.Second)
 	return float64(e.HCAA.DroppedRNPF.N), float64(doneAt) / float64(sim.Millisecond)
 }
 
@@ -223,13 +226,13 @@ func ablateStream(nested bool) float64 {
 	Warm(e.QPB, 0, 16*msg/mem.PageSize)
 	received := 0
 	var lastAt sim.Time
-	e.QPB.OnRecv = func(rc.RecvCompletion) { received++; lastAt = e.Eng.Now() }
+	e.QPB.OnRecv = func(rc.RecvCompletion) { received++; lastAt = e.EngB.Now() }
 	const count = 200
 	for i := 0; i < count; i++ {
 		e.QPB.PostRecv(rc.RecvWQE{ID: int64(i), Addr: mem.VAddr(i%16) * msg, Len: msg})
 		e.QPA.PostSend(rc.SendWQE{ID: int64(i), Laddr: mem.VAddr(i%16) * msg, Len: msg})
 	}
-	e.Eng.Run()
+	e.Run()
 	if received != count || lastAt == 0 {
 		return -1
 	}

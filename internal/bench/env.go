@@ -61,9 +61,34 @@ type EthEnv struct {
 	Drv     *core.Driver
 	Server  *EthHost
 	Client  *EthHost
+	// G is the PDES group when the env was built with Engines >= 1
+	// (server = partition 0, client = partition 1); nil in single-engine
+	// mode. ClientEng/ClientDrv are the client host's engine and driver;
+	// in single-engine mode they alias Eng/Drv, so callers can address
+	// the client side unconditionally.
+	G         *sim.Group
+	ClientEng *sim.Engine
+	ClientDrv *core.Driver
 	// Tracer is non-nil when the env was built with EthOpts.Trace or a
-	// TraceFactory.
+	// TraceFactory. It lives on the server engine; the client host runs
+	// untraced, exactly as in the single-engine env.
 	Tracer *trace.Tracer
+}
+
+// Run drives the env to quiescence and returns the end time.
+func (e *EthEnv) Run() sim.Time {
+	if e.G != nil {
+		return e.G.Run()
+	}
+	return e.Eng.Run()
+}
+
+// RunUntil advances every host of the env to t.
+func (e *EthEnv) RunUntil(t sim.Time) sim.Time {
+	if e.G != nil {
+		return e.G.RunUntil(t)
+	}
+	return e.Eng.RunUntil(t)
 }
 
 // EthOpts configures the testbed.
@@ -87,21 +112,45 @@ func NewEthEnv(o EthOpts) *EthEnv {
 	if o.RingSize == 0 {
 		o.RingSize = 64
 	}
-	eng, tr := newEnvEngine(o.Seed + 1)
-	if o.Trace && tr == nil {
-		tr = trace.New(eng)
-	}
-	net := fabric.New(eng, fabric.DefaultEthernet())
-	m := mem.NewMachine(eng, o.ServerRAM)
-	m.SetTracer(tr)
-	cm := mem.NewMachine(eng, 8<<30)
 	dcfg := core.DefaultConfig()
 	dcfg.PrefaultRing = o.PrefaultRing
-	drv := core.NewDriver(eng, dcfg)
-	drv.SetTracer(tr)
-	e := &EthEnv{Eng: eng, Net: net, M: m, ClientM: cm, Drv: drv, Tracer: tr}
-	e.Server = e.newHost(m, "server", o.Policy, o.RingSize, o.ServerCgroup, o.Jitter)
-	e.Client = e.newHost(cm, "client", nic.PolicyPinned, 256, nil, o.Jitter)
+	var e *EthEnv
+	if Engines >= 1 {
+		fcfg := fabric.DefaultEthernet()
+		g := newBenchGroup(o.Seed+1, 2, fcfg.Lookahead())
+		eng, ceng := g.Engine(0), g.Engine(1)
+		var tr *trace.Tracer
+		if TraceFactory != nil {
+			tr = TraceFactory(eng)
+		}
+		if o.Trace && tr == nil {
+			tr = trace.New(eng)
+		}
+		net := fabric.NewOnGroup(g, fcfg)
+		m := mem.NewMachine(eng, o.ServerRAM)
+		m.SetTracer(tr)
+		cm := mem.NewMachine(ceng, 8<<30)
+		drv := core.NewDriver(eng, dcfg)
+		drv.SetTracer(tr)
+		cdrv := core.NewDriver(ceng, dcfg)
+		e = &EthEnv{Eng: eng, G: g, ClientEng: ceng, Net: net, M: m,
+			ClientM: cm, Drv: drv, ClientDrv: cdrv, Tracer: tr}
+	} else {
+		eng, tr := newEnvEngine(o.Seed + 1)
+		if o.Trace && tr == nil {
+			tr = trace.New(eng)
+		}
+		net := fabric.New(eng, fabric.DefaultEthernet())
+		m := mem.NewMachine(eng, o.ServerRAM)
+		m.SetTracer(tr)
+		cm := mem.NewMachine(eng, 8<<30)
+		drv := core.NewDriver(eng, dcfg)
+		drv.SetTracer(tr)
+		e = &EthEnv{Eng: eng, ClientEng: eng, Net: net, M: m,
+			ClientM: cm, Drv: drv, ClientDrv: drv, Tracer: tr}
+	}
+	e.Server = e.newHost(e.Eng, e.Drv, e.M, "server", o.Policy, o.RingSize, o.ServerCgroup, o.Jitter)
+	e.Client = e.newHost(e.ClientEng, e.ClientDrv, e.ClientM, "client", nic.PolicyPinned, 256, nil, o.Jitter)
 	return e
 }
 
@@ -141,23 +190,23 @@ func (e *EthEnv) AddClientInstance(name string) *EthHost {
 	return h
 }
 
-func (e *EthEnv) newHost(m *mem.Machine, name string, policy nic.FaultPolicy, ringSize int, cgroup *mem.Group, jitter bool) *EthHost {
+func (e *EthEnv) newHost(eng *sim.Engine, drv *core.Driver, m *mem.Machine, name string, policy nic.FaultPolicy, ringSize int, cgroup *mem.Group, jitter bool) *EthHost {
 	dcfg := nic.DefaultConfig()
 	if !jitter {
 		dcfg.FirmwareJitterSigma = 0
 	}
-	dev := nic.NewDevice(e.Eng, e.Net, dcfg)
+	dev := nic.NewDevice(eng, e.Net, dcfg)
 	// The server device is the traced one; stacks inherit the tracer from
 	// their device at construction, so set it before tcp.NewStack below.
 	if name == "server" {
 		dev.SetTracer(e.Tracer)
 	}
-	e.Drv.AttachDevice(dev)
+	drv.AttachDevice(dev)
 	h := &EthHost{Dev: dev}
 	h.AS = m.NewAddressSpace(name, cgroup)
 	h.Chan = dev.NewChannel(name, h.AS, ringSize, policy, ringSize)
 	if policy != nic.PolicyPinned {
-		e.Drv.EnableODP(h.Chan)
+		drv.EnableODP(h.Chan)
 	}
 	h.Stack = tcp.NewStack(h.Chan, tcp.DefaultConfig())
 	if policy == nic.PolicyPinned {
@@ -200,9 +249,35 @@ type IBEnv struct {
 	HCAA, HCAB *rc.HCA
 	ASA, ASB   *mem.AddressSpace
 	QPA, QPB   *rc.QP
+	// G is the PDES group when the env was built with Engines >= 1
+	// (side A = partition 0, side B = partition 1); nil in single-engine
+	// mode. EngB is side B's engine; in single-engine mode it aliases
+	// Eng, so side-B callbacks can stop/inspect their own engine
+	// unconditionally.
+	G    *sim.Group
+	EngB *sim.Engine
 	// Tracer is non-nil when the env was built with IBOpts.Trace or a
-	// TraceFactory.
-	Tracer *trace.Tracer
+	// TraceFactory; in partitioned mode it belongs to side A and TracerB
+	// to side B (single-engine mode shares one tracer, TracerB aliases
+	// it).
+	Tracer  *trace.Tracer
+	TracerB *trace.Tracer
+}
+
+// Run drives the env to quiescence and returns the end time.
+func (e *IBEnv) Run() sim.Time {
+	if e.G != nil {
+		return e.G.Run()
+	}
+	return e.Eng.Run()
+}
+
+// RunUntil advances both sides of the env to t.
+func (e *IBEnv) RunUntil(t sim.Time) sim.Time {
+	if e.G != nil {
+		return e.G.RunUntil(t)
+	}
+	return e.Eng.RunUntil(t)
 }
 
 // IBOpts configures the IB testbed.
@@ -217,11 +292,6 @@ type IBOpts struct {
 // NewIBEnv builds a two-node IB testbed with a connected, ODP-enabled QP
 // pair.
 func NewIBEnv(o IBOpts) *IBEnv {
-	eng, tr := newEnvEngine(o.Seed + 1)
-	if o.Trace && tr == nil {
-		tr = trace.New(eng)
-	}
-	net := fabric.New(eng, fabric.DefaultInfiniBand())
 	cfg := rc.DefaultConfig()
 	if !o.Jitter {
 		cfg.FirmwareJitterSigma = 0
@@ -232,16 +302,46 @@ func NewIBEnv(o IBOpts) *IBEnv {
 	if o.Tweak != nil {
 		o.Tweak(&cfg)
 	}
-	e := &IBEnv{Eng: eng, Net: net, Tracer: tr}
-	e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(eng, 128<<30)
-	e.MA.SetTracer(tr)
-	e.MB.SetTracer(tr)
-	e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(eng, core.DefaultConfig())
-	e.DrvA.SetTracer(tr)
-	e.DrvB.SetTracer(tr)
-	e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(eng, net, cfg)
-	e.HCAA.SetTracer(tr)
-	e.HCAB.SetTracer(tr)
+	var e *IBEnv
+	if Engines >= 1 {
+		fcfg := fabric.DefaultInfiniBand()
+		g := newBenchGroup(o.Seed+1, 2, fcfg.Lookahead())
+		eng, engB := g.Engine(0), g.Engine(1)
+		var tr, trB *trace.Tracer
+		if TraceFactory != nil {
+			tr, trB = TraceFactory(eng), TraceFactory(engB)
+		}
+		if o.Trace && tr == nil {
+			tr, trB = trace.New(eng), trace.New(engB)
+		}
+		net := fabric.NewOnGroup(g, fcfg)
+		e = &IBEnv{Eng: eng, G: g, EngB: engB, Net: net, Tracer: tr, TracerB: trB}
+		e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(engB, 128<<30)
+		e.MA.SetTracer(tr)
+		e.MB.SetTracer(trB)
+		e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(engB, core.DefaultConfig())
+		e.DrvA.SetTracer(tr)
+		e.DrvB.SetTracer(trB)
+		e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(engB, net, cfg)
+		e.HCAA.SetTracer(tr)
+		e.HCAB.SetTracer(trB)
+	} else {
+		eng, tr := newEnvEngine(o.Seed + 1)
+		if o.Trace && tr == nil {
+			tr = trace.New(eng)
+		}
+		net := fabric.New(eng, fabric.DefaultInfiniBand())
+		e = &IBEnv{Eng: eng, EngB: eng, Net: net, Tracer: tr, TracerB: tr}
+		e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(eng, 128<<30)
+		e.MA.SetTracer(tr)
+		e.MB.SetTracer(tr)
+		e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(eng, core.DefaultConfig())
+		e.DrvA.SetTracer(tr)
+		e.DrvB.SetTracer(tr)
+		e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(eng, net, cfg)
+		e.HCAA.SetTracer(tr)
+		e.HCAB.SetTracer(tr)
+	}
 	e.DrvA.AttachHCA(e.HCAA)
 	e.DrvB.AttachHCA(e.HCAB)
 	e.ASA = e.MA.NewAddressSpace("a", nil)

@@ -63,15 +63,21 @@ func fig3Replica(seed int64, bytes, trials int) *core.Breakdown {
 	Warm(e.QPA, 0, pages*2)
 	const window = 8
 	done := 0
+	// runTrial is always invoked on side B; the next send is handed to
+	// side A through Engine.Call (inline on a shared engine, mailbox mail
+	// in partitioned mode).
 	var runTrial func()
 	runTrial = func() {
 		if done >= trials {
-			e.Eng.Stop()
+			e.EngB.Stop()
 			return
 		}
+		id := int64(done)
 		base := mem.VAddr(done%window*pages) * mem.PageSize
-		e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: bytes})
-		e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: bytes})
+		e.QPB.PostRecv(rc.RecvWQE{ID: id, Addr: base, Len: bytes})
+		e.EngB.Call(e.Eng, func() {
+			e.QPA.PostSend(rc.SendWQE{ID: id, Laddr: 0, Len: bytes})
+		})
 	}
 	e.QPB.OnRecv = func(rc.RecvCompletion) {
 		base := mem.PageNum(done % window * pages)
@@ -80,7 +86,7 @@ func fig3Replica(seed int64, bytes, trials int) *core.Breakdown {
 		runTrial()
 	}
 	runTrial()
-	e.Eng.Run()
+	e.Run()
 	return &e.DrvB.Hist
 }
 
@@ -205,12 +211,15 @@ func RunTable4(trials int) *Table4Result {
 			var runTrial func()
 			runTrial = func() {
 				if done >= trials {
-					e.Eng.Stop()
+					e.EngB.Stop()
 					return
 				}
+				id := int64(done)
 				base := mem.VAddr(done%window*pages) * mem.PageSize
-				e.QPB.PostRecv(rc.RecvWQE{ID: int64(done), Addr: base, Len: size.bytes})
-				e.QPA.PostSend(rc.SendWQE{ID: int64(done), Laddr: 0, Len: size.bytes})
+				e.QPB.PostRecv(rc.RecvWQE{ID: id, Addr: base, Len: size.bytes})
+				e.EngB.Call(e.Eng, func() {
+					e.QPA.PostSend(rc.SendWQE{ID: id, Laddr: 0, Len: size.bytes})
+				})
 			}
 			e.QPB.OnRecv = func(rc.RecvCompletion) {
 				base := mem.PageNum(done % window * pages)
@@ -219,7 +228,7 @@ func RunTable4(trials int) *Table4Result {
 				runTrial()
 			}
 			runTrial()
-			e.Eng.Run()
+			e.Run()
 			h := &e.DrvB.Hist.Total
 			rows[si] = Table4Row{
 				P50: h.Percentile(50), P95: h.Percentile(95),

@@ -41,7 +41,7 @@ func RunFig4a(duration sim.Time) *Fig4aResult {
 				KeyPrefix: "k", Prepopulate: true,
 			}, sim.Second)
 			slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
-			e.Eng.RunUntil(duration)
+			e.RunUntil(duration)
 			times, rates := slap.OpsTS.RatePoints()
 			pts := make([][2]float64, len(times))
 			for i := range times {
@@ -117,9 +117,11 @@ func RunFig4b(ops int, ringSizes []int, timeout sim.Time) *Fig4bResult {
 					Conns: 8, GetRatio: 0.9, ValueSize: 1024, Keys: 500,
 					KeyPrefix: "k", Prepopulate: true, TargetOps: ops,
 				}, sim.Second)
-				slap.OnDone = func() { e.Eng.Stop() }
+				// OnDone fires from a client-side event, so the stop must
+				// target the client's engine.
+				slap.OnDone = func() { e.ClientEng.Stop() }
 				slap.Start(e.Server.Chan.Dev.Node, e.Server.Chan.Flow)
-				e.Eng.RunUntil(timeout)
+				e.RunUntil(timeout)
 				switch {
 				case slap.Failed && slap.DoneAt == 0:
 					cols[pi][ri] = -1 // TCP gave up (paper: ring >= 128)

@@ -7,6 +7,7 @@ import (
 	"npf/internal/fabric"
 	"npf/internal/kv"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // KVResult is the distributed-KV registration ablation: the same deployment
@@ -70,13 +71,34 @@ func RunKV(quick bool) *KVResult {
 }
 
 // kvSweepJob runs one policy's deployment to completion and fills row i.
+// With Engines >= 1 the cluster is partitioned server-tier/client-tier
+// across a two-engine PDES group; the partition count is fixed, so results
+// are byte-identical for every Engines value.
 func kvSweepJob(res *KVResult, i int, pol kv.RegPolicy, ops int) {
-	eng, tr := newEnvEngine(43)
-	net := fabric.New(eng, fabric.DefaultEthernet())
-	svc := kv.New(eng, net, tr, kv.Config{
+	fcfg := fabric.DefaultEthernet()
+	cfg := kv.Config{
 		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
 		Reg: pol, ExpectedKeys: 1024,
-	})
+	}
+	var (
+		eng *sim.Engine
+		g   *sim.Group
+		tr  *trace.Tracer
+		net *fabric.Network
+	)
+	if Engines >= 1 {
+		g = newBenchGroup(43, 2, fcfg.Lookahead())
+		eng = g.Engine(0)
+		if TraceFactory != nil {
+			tr = TraceFactory(eng)
+			cfg.ClientTracer = TraceFactory(g.Engine(1))
+		}
+		net = fabric.NewOnGroup(g, fcfg)
+	} else {
+		eng, tr = newEnvEngine(43)
+		net = fabric.New(eng, fcfg)
+	}
+	svc := kv.New(eng, net, tr, cfg)
 	// NVMe-class swap: the sweep measures reclaim racing the data path in
 	// the tail, not disk seek times drowning everything.
 	for _, h := range svc.Hosts {
@@ -101,10 +123,16 @@ func kvSweepJob(res *KVResult, i int, pol kv.RegPolicy, ops int) {
 		Prepopulate: true, FrontCacheEntries: 32,
 	})
 	wl.OnDone = func() {
-		eng.After(300*sim.Millisecond, func() { svc.Stop() })
+		// OnDone fires from a client-side event; the delayed Stop must run
+		// on the client engine too (it forwards the server side's flag).
+		svc.ClientEngine().After(300*sim.Millisecond, func() { svc.Stop() })
 	}
 	wl.Start()
-	eng.RunUntil(120 * sim.Second)
+	if g != nil {
+		g.RunUntil(120 * sim.Second)
+	} else {
+		eng.RunUntil(120 * sim.Second)
+	}
 
 	res.Ops[i] = wl.Completed()
 	res.P50Us[i] = wl.Lat.Percentile(50)

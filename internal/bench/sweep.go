@@ -19,6 +19,46 @@ import (
 // output is byte-identical for any Workers value.
 var Workers = 1
 
+// Engines selects the engine topology the env constructors build. 0 (the
+// default) is the historical single-engine mode: one sim.Engine carries
+// every host of an env. Any value >= 1 switches the constructors to
+// partitioned PDES mode — each env becomes a sim.Group with one engine
+// per host side, synchronized conservatively through the fabric's
+// propagation-latency lookahead — and is the TOTAL worker-thread budget
+// for a sweep: runJobs fans jobs across min(len(jobs), Engines)
+// goroutines and gives each env's group the remaining budget,
+// max(1, Engines/workers) threads (capped at GOMAXPROCS — see
+// pdesThreads). The partition structure is fixed by the env shape, never
+// by the thread budget, so results are byte-identical for every
+// Engines >= 1; only wall-clock changes. cmd/npfbench sets it from
+// -engines.
+var Engines = 0
+
+// envThreads is the per-env thread allotment while a PDES runJobs pool
+// drains. Written single-threadedly before the pool spawns, read by jobs
+// through pdesThreads, reset after the pool joins.
+var envThreads int
+
+// pdesThreads reports the worker-thread budget the next env group gets.
+// The allotment is capped at the host's GOMAXPROCS: a group granted more
+// threads than the scheduler has processors just ping-pongs goroutines
+// through the conservative-sync windows (strictly slower than sweeping
+// the partitions on one thread). Results are identical either way — the
+// cap, like every thread setting, only changes wall-clock.
+func pdesThreads() int {
+	t := envThreads
+	if t <= 0 {
+		t = 1
+		if Engines > 1 {
+			t = Engines
+		}
+	}
+	if c := runtime.GOMAXPROCS(0); t > c {
+		t = c
+	}
+	return t
+}
+
 // DefaultWorkers reports the worker count for "use all cores": GOMAXPROCS.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
@@ -55,9 +95,27 @@ func RunParallel(workers int, jobs []func()) {
 	wg.Wait()
 }
 
-// runJobs is the sweep-internal shorthand: fan jobs across the global
-// Workers setting.
-func runJobs(jobs []func()) { RunParallel(Workers, jobs) }
+// runJobs is the sweep-internal shorthand. In single-engine mode it fans
+// jobs across the global Workers setting. In PDES mode (Engines >= 1) the
+// engine budget drives the fan-out instead: min(len(jobs), Engines) job
+// goroutines, with the leftover budget handed to each job's env group as
+// intra-env worker threads.
+func runJobs(jobs []func()) {
+	if Engines >= 1 {
+		workers := Engines
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		envThreads = Engines / workers
+		if envThreads < 1 {
+			envThreads = 1
+		}
+		RunParallel(workers, jobs)
+		envThreads = 0
+		return
+	}
+	RunParallel(Workers, jobs)
+}
 
 // ---------------------------------------------------------------------------
 // Engine statistics registry. cmd/npfbench -json uses it to report how many
@@ -68,6 +126,7 @@ var engineReg struct {
 	mu      sync.Mutex
 	enabled bool
 	engines []*sim.Engine
+	groups  []*sim.Group
 }
 
 // StartEngineStats begins collecting every engine built through the bench
@@ -76,6 +135,7 @@ func StartEngineStats() {
 	engineReg.mu.Lock()
 	engineReg.enabled = true
 	engineReg.engines = nil
+	engineReg.groups = nil
 	engineReg.mu.Unlock()
 }
 
@@ -90,8 +150,16 @@ func StopEngineStats() (engines int, events uint64) {
 		events += e.Executed()
 	}
 	engines = len(engineReg.engines)
+	for _, g := range engineReg.groups {
+		// Group.Executed folds in cross-partition mail injections, which
+		// are not engine events, so the total is stable across thread
+		// budgets.
+		events += g.Executed()
+		engines += g.Parts()
+	}
 	engineReg.enabled = false
 	engineReg.engines = nil
+	engineReg.groups = nil
 	return engines, events
 }
 
@@ -99,6 +167,14 @@ func registerEngine(eng *sim.Engine) {
 	engineReg.mu.Lock()
 	if engineReg.enabled {
 		engineReg.engines = append(engineReg.engines, eng)
+	}
+	engineReg.mu.Unlock()
+}
+
+func registerGroup(g *sim.Group) {
+	engineReg.mu.Lock()
+	if engineReg.enabled {
+		engineReg.groups = append(engineReg.groups, g)
 	}
 	engineReg.mu.Unlock()
 }
@@ -111,4 +187,18 @@ func newBenchEngine(seed int64) *sim.Engine {
 	eng.MaxEvents = MaxEngineEvents
 	registerEngine(eng)
 	return eng
+}
+
+// newBenchGroup is newBenchEngine's PDES counterpart: a conservative-sync
+// group of `parts` engines with the runaway guard applied per engine, the
+// current thread budget installed, and the whole group registered once
+// for -json statistics.
+func newBenchGroup(seed int64, parts int, lookahead sim.Time) *sim.Group {
+	g := sim.NewGroup(seed, parts, lookahead)
+	for _, e := range g.Engines() {
+		e.MaxEvents = MaxEngineEvents
+	}
+	g.SetThreads(pdesThreads())
+	registerGroup(g)
+	return g
 }

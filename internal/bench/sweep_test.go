@@ -19,6 +19,15 @@ func withWorkers(n int, fn func()) {
 	fn()
 }
 
+// withEngines runs fn with the package-level PDES engine-thread budget
+// temporarily set to n (0 restores the historical single-engine mode).
+func withEngines(n int, fn func()) {
+	old := Engines
+	Engines = n
+	defer func() { Engines = old }()
+	fn()
+}
+
 func TestRunParallelRunsEveryJobOnce(t *testing.T) {
 	for _, workers := range []int{0, 1, 2, 8, 64} {
 		const n = 100
@@ -91,10 +100,43 @@ func TestRunParallelAblateDeterminism(t *testing.T) {
 	}
 }
 
-// captureSeries runs a sweep with a sampling trace factory installed and
-// returns the rendered WriteSeriesSet stream — the byte string the series
-// determinism pins compare across worker counts.
-func captureSeries(t *testing.T, workers int, run func()) string {
+// TestEnginesFig3Determinism is the PDES counterpart of the Workers pins,
+// on the RC/InfiniBand transport: the same fig3 sweep must render
+// byte-identically for every engine-thread budget. (Engines 0 — the legacy
+// single-engine topology — is a different RNG split and legitimately
+// differs; the identity promise covers every Engines >= 1.)
+func TestEnginesFig3Determinism(t *testing.T) {
+	opts := Fig3Opts{Trials: 6, Replicas: 2}
+	outs := map[int]string{}
+	for _, n := range []int{1, 2, 8} {
+		withEngines(n, func() { outs[n] = RunFig3Opts(opts).Render() })
+	}
+	for _, n := range []int{2, 8} {
+		if outs[n] != outs[1] {
+			t.Fatalf("fig3 output depends on Engines:\n--- engines=1 ---\n%s\n--- engines=%d ---\n%s", outs[1], n, outs[n])
+		}
+	}
+}
+
+// TestEnginesFig4aDeterminism covers the Ethernet transport: a shortened
+// fig4a startup sweep (ring refills, NPF backup path, memaslap load) must
+// render byte-identically for Engines 1, 2, and 8.
+func TestEnginesFig4aDeterminism(t *testing.T) {
+	outs := map[int]string{}
+	for _, n := range []int{1, 2, 8} {
+		withEngines(n, func() { outs[n] = RunFig4a(sim.Second).Render() })
+	}
+	for _, n := range []int{2, 8} {
+		if outs[n] != outs[1] {
+			t.Fatalf("fig4a output depends on Engines:\n--- engines=1 ---\n%s\n--- engines=%d ---\n%s", outs[1], n, outs[n])
+		}
+	}
+}
+
+// captureSeriesUnder runs a sweep with a sampling trace factory installed
+// (wrapped by the caller-supplied budget setter) and returns the rendered
+// WriteSeriesSet stream — the byte string the determinism pins compare.
+func captureSeriesUnder(t *testing.T, wrap func(func()), run func()) string {
 	t.Helper()
 	old := TraceFactory
 	defer func() { TraceFactory = old }()
@@ -108,7 +150,7 @@ func captureSeries(t *testing.T, workers int, run func()) string {
 		mu.Unlock()
 		return tr
 	}
-	withWorkers(workers, run)
+	wrap(run)
 	var set []*trace.Series
 	for _, tr := range tracers {
 		if s := tr.Sampler().Series(); s != nil && len(s.Names) > 0 {
@@ -125,6 +167,12 @@ func captureSeries(t *testing.T, workers int, run func()) string {
 	return b.String()
 }
 
+// captureSeries is captureSeriesUnder with a Workers budget.
+func captureSeries(t *testing.T, workers int, run func()) string {
+	t.Helper()
+	return captureSeriesUnder(t, func(f func()) { withWorkers(workers, f) }, run)
+}
+
 // TestRunParallelSeriesDeterminism extends the sweep runner's byte-identity
 // promise to time-series output: the content-sorted WriteSeriesSet stream
 // (and its order-invariant digest) must not depend on the worker count,
@@ -135,6 +183,25 @@ func TestRunParallelSeriesDeterminism(t *testing.T) {
 	fanned := captureSeries(t, 8, func() { RunFig3Opts(opts) })
 	if serial != fanned {
 		t.Fatalf("series output depends on Workers:\n--- workers=1 ---\n%.2000s\n--- workers=8 ---\n%.2000s", serial, fanned)
+	}
+}
+
+// TestEnginesSeriesDeterminism extends the byte-identity promise of
+// partitioned runs to sampler output: the WriteSeriesSet stream (the
+// instrumented server partition of every env) must not depend on the
+// engine-thread budget.
+func TestEnginesSeriesDeterminism(t *testing.T) {
+	opts := Fig3Opts{Trials: 4, Replicas: 2}
+	outs := map[int]string{}
+	for _, n := range []int{1, 2, 8} {
+		outs[n] = captureSeriesUnder(t,
+			func(f func()) { withEngines(n, f) },
+			func() { RunFig3Opts(opts) })
+	}
+	for _, n := range []int{2, 8} {
+		if outs[n] != outs[1] {
+			t.Fatalf("series output depends on Engines:\n--- engines=1 ---\n%.2000s\n--- engines=%d ---\n%.2000s", outs[1], n, outs[n])
+		}
 	}
 }
 

@@ -30,22 +30,34 @@ type Table5Result struct {
 }
 
 // RunTable5 reproduces Table 5: overcommitment with static working sets.
+// Every (mode, instance-count) cell is an independent job on its own
+// engine, executed through the sweep runner and merged in fixed order, so
+// output does not depend on the fan-out.
 func RunTable5() *Table5Result {
-	res := &Table5Result{KTPS: make(map[string][]float64)}
-	for _, mode := range []struct {
+	modes := []struct {
 		name   string
 		policy nic.FaultPolicy
-	}{{"NPF", nic.PolicyBackup}, {"pinning", nic.PolicyPinned}} {
-		var col []float64
+	}{{"NPF", nic.PolicyBackup}, {"pinning", nic.PolicyPinned}}
+	cols := make([][]float64, len(modes))
+	var jobs []func()
+	for mi, mode := range modes {
+		mi, mode := mi, mode
+		cols[mi] = make([]float64, 4)
 		for n := 1; n <= 4; n++ {
-			ktps, ok := runTable5Config(mode.policy, n)
-			if !ok {
-				col = append(col, -1)
-			} else {
-				col = append(col, ktps)
-			}
+			mi, n := mi, n
+			jobs = append(jobs, func() {
+				ktps, ok := runTable5Config(mode.policy, n)
+				if !ok {
+					ktps = -1
+				}
+				cols[mi][n-1] = ktps
+			})
 		}
-		res.KTPS[mode.name] = col
+	}
+	runJobs(jobs)
+	res := &Table5Result{KTPS: make(map[string][]float64)}
+	for mi, mode := range modes {
+		res.KTPS[mode.name] = cols[mi]
 	}
 	return res
 }
@@ -71,12 +83,12 @@ func runTable5Config(policy nic.FaultPolicy, instances int) (float64, bool) {
 		slaps = append(slaps, slap)
 	}
 	// Warm-up/prepopulation phase, then measure.
-	e.Eng.RunUntil(t5Prepop)
+	e.RunUntil(t5Prepop)
 	var opsBefore uint64
 	for _, s := range slaps {
 		opsBefore += s.Ops.N
 	}
-	e.Eng.RunUntil(t5Prepop + t5Measure)
+	e.RunUntil(t5Prepop + t5Measure)
 	var opsAfter uint64
 	for _, s := range slaps {
 		opsAfter += s.Ops.N

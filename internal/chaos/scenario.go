@@ -24,6 +24,17 @@ const maxScenarioEvents = 200_000_000
 // process-wide knob set before running scenarios, not per-run state.
 var SampleEvery sim.Time
 
+// Engines selects the engine topology scenario testbeds build, mirroring
+// bench.Engines: 0 (the default) keeps the classic single sequential
+// engine; any value >= 1 shards each testbed across a two-partition PDES
+// group — fault-target tier (servers) on partition 0, workload tier
+// (clients) on partition 1 — with Engines worker threads. The partition
+// structure is fixed, so reports and digests are byte-identical for every
+// Engines >= 1; only wall-clock changes. Chaos plans arm on partition 0,
+// where every registered target lives. The IB link-flap scenario keeps a
+// single engine regardless (both of its hosts are fault targets).
+var Engines = 0
+
 // seriesCSV renders a tracer's sampled series (empty when sampling is off).
 func seriesCSV(tr *trace.Tracer) string {
 	s := tr.Sampler().Series()
@@ -197,9 +208,13 @@ func RunScenario(name string, seed int64) (*Report, error) {
 // ethEnv is a compact two-host Ethernet testbed: an ODP server with a
 // backup ring (cold — nothing prefaulted) and a warm, unmodified client.
 // It mirrors internal/bench's env but stays dependency-free so the root
-// npf package can re-export this package.
+// npf package can re-export this package. With Engines >= 1 the server
+// lives on partition 0 of a two-engine PDES group (with the tracer and
+// every chaos target) and the client on partition 1.
 type ethEnv struct {
-	eng      *sim.Engine
+	eng      *sim.Engine // server engine (partition 0, or the only one)
+	engC     *sim.Engine // client engine (== eng when single-engine)
+	g        *sim.Group  // nil when single-engine
 	tr       *trace.Tracer
 	net      *fabric.Network
 	m, cm    *mem.Machine
@@ -212,38 +227,61 @@ type ethEnv struct {
 }
 
 func newEthEnv(seed int64, ringSize int, dcfg core.Config, cgroupLimit int64) *ethEnv {
-	eng := sim.NewEngine(seed)
-	eng.MaxEvents = maxScenarioEvents
-	tr := trace.New(eng)
-	e := &ethEnv{eng: eng, tr: tr}
-	e.net = fabric.New(eng, fabric.DefaultEthernet())
-	e.m = mem.NewMachine(eng, 8<<30)
-	e.m.SetTracer(tr)
-	e.cm = mem.NewMachine(eng, 8<<30)
+	e := &ethEnv{}
+	fcfg := fabric.DefaultEthernet()
+	if Engines >= 1 {
+		e.g = sim.NewGroup(seed, 2, fcfg.Lookahead())
+		e.g.SetThreads(Engines)
+		for _, en := range e.g.Engines() {
+			en.MaxEvents = maxScenarioEvents
+		}
+		e.eng, e.engC = e.g.Engine(0), e.g.Engine(1)
+		e.tr = trace.New(e.eng)
+		e.net = fabric.NewOnGroup(e.g, fcfg)
+	} else {
+		eng := sim.NewEngine(seed)
+		eng.MaxEvents = maxScenarioEvents
+		e.eng, e.engC = eng, eng
+		e.tr = trace.New(eng)
+		e.net = fabric.New(eng, fcfg)
+	}
+	e.m = mem.NewMachine(e.eng, 8<<30)
+	e.m.SetTracer(e.tr)
+	e.cm = mem.NewMachine(e.engC, 8<<30)
 	if cgroupLimit > 0 {
 		e.group = mem.NewGroup("chaos-cgroup", cgroupLimit)
 	}
-	e.drv = core.NewDriver(eng, dcfg)
-	e.drv.SetTracer(tr)
+	e.drv = core.NewDriver(e.eng, dcfg)
+	e.drv.SetTracer(e.tr)
 
-	e.sDev = nic.NewDevice(eng, e.net, nic.DefaultConfig())
-	e.sDev.SetTracer(tr)
+	e.sDev = nic.NewDevice(e.eng, e.net, nic.DefaultConfig())
+	e.sDev.SetTracer(e.tr)
 	e.drv.AttachDevice(e.sDev)
 	e.serverAS = e.m.NewAddressSpace("server", e.group)
 	sch := e.sDev.NewChannel("server", e.serverAS, ringSize, nic.PolicyBackup, ringSize)
 	e.drv.EnableODP(sch)
 	e.server = tcp.NewStack(sch, tcp.DefaultConfig())
 
-	cDev := nic.NewDevice(eng, e.net, nic.DefaultConfig())
-	cDev.SetNPFSink(e.drv) // the client is warm; a fault would be a bug
+	// The client is warm and fully pinned, so its NPF sink can never fire;
+	// pointing it at the server's driver is safe even across partitions.
+	cDev := nic.NewDevice(e.engC, e.net, nic.DefaultConfig())
+	cDev.SetNPFSink(e.drv)
 	cAS := e.cm.NewAddressSpace("client", nil)
 	cch := cDev.NewChannel("client", cAS, 256, nic.PolicyPinned, 256)
 	e.client = tcp.NewStack(cch, tcp.DefaultConfig())
 	warmStack(e.client)
 	if SampleEvery > 0 {
-		tr.StartSampler(SampleEvery)
+		e.tr.StartSampler(SampleEvery)
 	}
 	return e
+}
+
+// run drives the testbed — every partition — to the horizon.
+func (e *ethEnv) run(horizon sim.Time) sim.Time {
+	if e.g != nil {
+		return e.g.RunUntil(horizon)
+	}
+	return e.eng.RunUntil(horizon)
 }
 
 func warmStack(st *tcp.Stack) {
@@ -289,15 +327,16 @@ func ethTraffic(e *ethEnv, r *Report, msgs, msgBytes int, start, gap, horizon si
 		r.Failures = append(r.Failures, fmt.Sprintf("connection failed: %v", err))
 	}
 	r.Sent = msgs
+	// Sends originate at the client, so they are paced on its engine.
 	for i := 0; i < msgs; i++ {
-		e.eng.At(start+sim.Time(i)*gap, func() { conn.Send(msgBytes, nil) })
+		e.engC.At(start+sim.Time(i)*gap, func() { conn.Send(msgBytes, nil) })
 	}
-	end := e.eng.RunUntil(horizon)
+	end := e.run(horizon)
 
 	r.Series = seriesCSV(e.tr)
 	r.Digest = e.tr.Digest()
 	r.NPFs = e.drv.NPFs.N
-	r.InjectedDrops = e.net.InjectedDrops.N
+	r.InjectedDrops = e.net.InjectedDrops()
 	r.Retransmits = e.client.Retransmits.N + e.server.Retransmits.N
 	r.ResolverTimeouts = e.drv.ResolverTimeouts.N
 	r.DegradedPins = e.drv.DegradedPins.N

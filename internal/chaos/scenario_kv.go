@@ -14,50 +14,103 @@ import (
 // single-host scenarios use, with the replication convergence invariant
 // (CheckConsistency) layered on top of the usual no-lost-work checks.
 
-// newKVEnv builds a KV deployment on a fresh engine.
-func newKVEnv(seed int64, cfg kv.Config) (*sim.Engine, *trace.Tracer, *kv.Service) {
-	eng := sim.NewEngine(seed)
-	eng.MaxEvents = maxScenarioEvents
-	tr := trace.New(eng)
+// kvEnv is one KV scenario testbed: the service plus the engines and
+// tracers it runs on. With Engines >= 1 the server tier (and every chaos
+// target) lives on partition 0 of a two-engine PDES group and the client
+// tier on partition 1, each with its own tracer.
+type kvEnv struct {
+	eng *sim.Engine   // server-tier engine; chaos plans arm here
+	g   *sim.Group    // nil when single-engine
+	tr  *trace.Tracer // server-tier tracer
+	trC *trace.Tracer // client-tier tracer (== tr when single-engine)
+	svc *kv.Service
+}
+
+// newKVEnv builds a KV deployment on a fresh engine (or engine group).
+func newKVEnv(seed int64, cfg kv.Config) *kvEnv {
+	e := &kvEnv{}
 	fcfg := fabric.DefaultEthernet()
 	if cfg.Transport == kv.TransportRC {
 		fcfg = fabric.DefaultInfiniBand()
 	}
-	net := fabric.New(eng, fcfg)
-	svc := kv.New(eng, net, tr, cfg)
-	if SampleEvery > 0 {
-		tr.StartSampler(SampleEvery)
+	var net *fabric.Network
+	if Engines >= 1 {
+		e.g = sim.NewGroup(seed, 2, fcfg.Lookahead())
+		e.g.SetThreads(Engines)
+		for _, en := range e.g.Engines() {
+			en.MaxEvents = maxScenarioEvents
+		}
+		e.eng = e.g.Engine(0)
+		e.tr = trace.New(e.eng)
+		e.trC = trace.New(e.g.Engine(1))
+		cfg.ClientTracer = e.trC
+		net = fabric.NewOnGroup(e.g, fcfg)
+	} else {
+		e.eng = sim.NewEngine(seed)
+		e.eng.MaxEvents = maxScenarioEvents
+		e.tr = trace.New(e.eng)
+		e.trC = e.tr
+		net = fabric.New(e.eng, fcfg)
 	}
-	return eng, tr, svc
+	e.svc = kv.New(e.eng, net, e.tr, cfg)
+	if SampleEvery > 0 {
+		e.tr.StartSampler(SampleEvery)
+	}
+	return e
 }
 
-// kvTargets exposes every layer of the deployment to the injector.
-func kvTargets(eng *sim.Engine, tr *trace.Tracer, svc *kv.Service) Targets {
-	return Targets{
-		Eng:     eng,
-		Net:     svc.Net,
-		Devs:    svc.Devices(),
-		HCAs:    svc.HCAs(),
-		Drivers: svc.Drivers(),
-		Groups:  svc.Groups(),
-		Spaces:  svc.Spaces(),
-		Tracer:  tr,
+// targets exposes the deployment to the injector. In partitioned mode the
+// client tier lives on partition 1, beyond the reach of an injector whose
+// activations run on partition 0, so only the server tier registers.
+func (e *kvEnv) targets() Targets {
+	t := Targets{
+		Eng:    e.eng,
+		Net:    e.svc.Net,
+		Groups: e.svc.Groups(),
+		Spaces: e.svc.Spaces(),
+		Tracer: e.tr,
 	}
+	if e.g != nil {
+		t.Devs = e.svc.ServerDevices()
+		t.HCAs = e.svc.ServerHCAs()
+		t.Drivers = e.svc.ServerDrivers()
+	} else {
+		t.Devs = e.svc.Devices()
+		t.HCAs = e.svc.HCAs()
+		t.Drivers = e.svc.Drivers()
+	}
+	return t
+}
+
+// digest condenses the run's trace; in partitioned mode both tiers fold in.
+func (e *kvEnv) digest() uint64 {
+	if e.trC != e.tr {
+		return trace.DigestAll([]*trace.Tracer{e.tr, e.trC})
+	}
+	return e.tr.Digest()
 }
 
 // runKVWorkload drives wl to completion (quiescing the control plane a
 // grace period after the last op) and fills the report's common fields.
-func runKVWorkload(r *Report, eng *sim.Engine, tr *trace.Tracer, svc *kv.Service, wl *kv.Workload) {
+func runKVWorkload(r *Report, e *kvEnv, wl *kv.Workload) {
+	svc := e.svc
 	wl.OnDone = func() {
 		// Leave the control plane up long enough for failed-over or
-		// squeezed replicas to finish resyncing, then park it.
-		eng.After(300*sim.Millisecond, func() { svc.Stop() })
+		// squeezed replicas to finish resyncing, then park it. OnDone fires
+		// from a client-side event, so the delayed Stop runs on the client
+		// engine (it forwards the server tier's flag).
+		svc.ClientEngine().After(300*sim.Millisecond, func() { svc.Stop() })
 	}
 	wl.Start()
-	end := eng.RunUntil(120 * sim.Second)
+	var end sim.Time
+	if e.g != nil {
+		end = e.g.RunUntil(120 * sim.Second)
+	} else {
+		end = e.eng.RunUntil(120 * sim.Second)
+	}
 
-	r.Series = seriesCSV(tr)
-	r.Digest = tr.Digest()
+	r.Series = seriesCSV(e.tr)
+	r.Digest = e.digest()
 	r.Sent = wl.Cfg.TargetOps
 	r.Delivered = wl.Completed()
 	r.NPFs = svc.NPFs()
@@ -84,10 +137,11 @@ func runKVWorkload(r *Report, eng *sim.Engine, tr *trace.Tracer, svc *kv.Service
 
 func runKVInvalidationStorm(seed int64) *Report {
 	r := &Report{Scenario: "kv-under-invalidation-storm", Seed: seed}
-	eng, tr, svc := newKVEnv(seed, kv.Config{
+	env := newKVEnv(seed, kv.Config{
 		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
 		Reg: kv.RegODP, ExpectedKeys: 512,
 	})
+	svc := env.svc
 	plan := NewPlan(InvalidationChaos{
 		At: 0, Duration: 2 * sim.Second,
 		Extra: 20 * sim.Microsecond, Duplicates: 2,
@@ -105,11 +159,11 @@ func runKVInvalidationStorm(seed int64) *Report {
 			}
 		}})
 	}
-	Arm(plan, kvTargets(eng, tr, svc))
+	Arm(plan, env.targets())
 	wl := svc.NewWorkload(kv.WorkloadConfig{
 		TargetOps: 1200, Keys: 512, Prepopulate: true, FrontCacheEntries: 32,
 	})
-	runKVWorkload(r, eng, tr, svc, wl)
+	runKVWorkload(r, env, wl)
 	r.check(r.NPFs > 0, "fault never fired: no network page faults")
 	r.check(r.InvDuplicates > 0, "fault never fired: no duplicated invalidations")
 	return r.finish()
@@ -117,7 +171,7 @@ func runKVInvalidationStorm(seed int64) *Report {
 
 func runKVReplicaLinkFlap(seed int64) *Report {
 	r := &Report{Scenario: "kv-replica-link-flap", Seed: seed}
-	eng, tr, svc := newKVEnv(seed, kv.Config{
+	env := newKVEnv(seed, kv.Config{
 		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
 		Reg:            kv.RegODP,
 		ExpectedKeys:   512,
@@ -125,19 +179,20 @@ func runKVReplicaLinkFlap(seed int64) *Report {
 		FailoverAfter:  8 * sim.Millisecond,
 		ReplTimeout:    5 * sim.Millisecond,
 	})
+	svc := env.svc
 	victim := svc.Placement().PrimaryHost(0)
 	// Sever the victim host whole (data link and management port) for
 	// 100 ms — an order of magnitude past FailoverAfter — then heal it.
 	Arm(NewPlan(
 		Callback{At: 25 * sim.Millisecond, Fn: func(ij *Injector) { svc.SetHostDown(victim, true) }},
 		Callback{At: 125 * sim.Millisecond, Fn: func(ij *Injector) { svc.SetHostDown(victim, false) }},
-	), kvTargets(eng, tr, svc))
+	), env.targets())
 	wl := svc.NewWorkload(kv.WorkloadConfig{
 		TargetOps: 3000, Keys: 512, Prepopulate: true,
 		OpenLoop: true, ArrivalRate: 5_000, Clients: 4,
 		RequestTimeout: 10 * sim.Millisecond,
 	})
-	runKVWorkload(r, eng, tr, svc, wl)
+	runKVWorkload(r, env, wl)
 	r.check(r.Failovers > 0, "fault never fired: severed primary was not failed over")
 	r.check(r.Resyncs > 0, "rejoined host never resynced")
 	return r.finish()
@@ -145,10 +200,11 @@ func runKVReplicaLinkFlap(seed int64) *Report {
 
 func runKVMemoryPressure(seed int64) *Report {
 	r := &Report{Scenario: "kv-memory-pressure", Seed: seed}
-	eng, tr, svc := newKVEnv(seed, kv.Config{
+	env := newKVEnv(seed, kv.Config{
 		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
 		Reg: kv.RegODP, ExpectedKeys: 512,
 	})
+	svc := env.svc
 	// Fast NVMe-class swap, as in thrash-under-pressure: the scenario
 	// stresses reclaim racing the data path, not disk latency.
 	for _, h := range svc.Hosts {
@@ -157,11 +213,11 @@ func runKVMemoryPressure(seed int64) *Report {
 	Arm(NewPlan(MemoryPressure{
 		At: 5 * sim.Millisecond, Period: 10 * sim.Millisecond, Waves: 5,
 		LowBytes: 64 << 10, HighBytes: 0,
-	}), kvTargets(eng, tr, svc))
+	}), env.targets())
 	wl := svc.NewWorkload(kv.WorkloadConfig{
 		TargetOps: 1500, Keys: 512, Prepopulate: true, GetRatio: 0.7,
 	})
-	runKVWorkload(r, eng, tr, svc, wl)
+	runKVWorkload(r, env, wl)
 	r.check(r.GroupEvicts > 0, "fault never fired: no cgroup evictions")
 	return r.finish()
 }

@@ -73,32 +73,42 @@ func DefaultInfiniBand() Config {
 type LossFunc func(pkt *Packet) bool
 
 // Network is the fabric instance. All hosts attach to the same Network.
+// In partitioned (PDES) mode — NewOnGroup — each node lives on the engine
+// it was attached with, and propagation between nodes crosses partition
+// boundaries through the group's deterministic mailboxes.
 type Network struct {
-	eng *sim.Engine
-	cfg Config
-	rng *sim.Rand
+	eng   *sim.Engine
+	group *sim.Group
+	cfg   Config
+	rng   *sim.Rand
 
 	nodes   map[NodeID]*node
 	nextsID NodeID
-
-	Delivered      sim.Counter
-	DeliveredBytes sim.Counter
-	Dropped        sim.Counter
-	// InjectedDrops counts packets dropped by per-link LossFuncs and downed
-	// links (a subset of Dropped).
-	InjectedDrops sim.Counter
 }
 
 type node struct {
 	id       NodeID
 	endpoint Endpoint
-	egress   *port
-	ingress  *port
+	// eng is the engine (partition) this node lives on; every event the
+	// node's ports schedule, and every delivery to its endpoint, runs here.
+	eng  *sim.Engine
+	part int
+	// seq numbers this node's in-flight propagations: the deterministic
+	// tiebreak for same-timestamp mailbox deliveries from different sources.
+	seq     uint64
+	egress  *port
+	ingress *port
 	// rng is this link's private loss stream: each node draws from its own
 	// deterministic sequence, so loss outcomes on one link do not depend on
 	// how deliveries interleave with other links' traffic.
 	rng  *sim.Rand
 	loss LossFunc
+	// Wire statistics are per-node (single-writer under PDES) and summed
+	// by the Network's aggregate accessors after a run.
+	delivered      sim.Counter
+	deliveredBytes sim.Counter
+	dropped        sim.Counter
+	injectedDrops  sim.Counter
 }
 
 // New creates a network on eng with the given configuration.
@@ -114,17 +124,76 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	}
 }
 
+// NewOnGroup creates a partitioned network spanning a PDES group. Nodes
+// are placed on partitions via AttachOn; cross-node propagation rides the
+// group mailboxes with cfg.Propagation as the conservative lookahead
+// (Lookahead reports it for group construction).
+func NewOnGroup(g *sim.Group, cfg Config) *Network {
+	n := New(g.Engine(0), cfg)
+	n.group = g
+	if cfg.Propagation < g.Lookahead() {
+		panic("fabric: propagation below group lookahead")
+	}
+	return n
+}
+
+// Lookahead is the minimum cross-partition latency this fabric guarantees:
+// its per-hop propagation delay.
+func (cfg Config) Lookahead() sim.Time { return cfg.Propagation }
+
+// Group returns the PDES group this fabric spans, or nil when it runs on a
+// single standalone engine. Layers built on top (e.g. kv) use it to decide
+// whether to place hosts on per-partition engines.
+func (n *Network) Group() *sim.Group { return n.group }
+
 // Attach adds an endpoint to the fabric and returns its node id. Each node
 // receives its own RNG stream, split off the fabric's at attach time:
 // attachment order is deterministic, so per-link loss sequences are too.
 func (n *Network) Attach(ep Endpoint) NodeID {
+	return n.AttachOn(ep, n.eng)
+}
+
+// AttachOn adds an endpoint that lives on eng — in partitioned mode, the
+// per-partition engine of the host that owns it. Attachment must happen
+// before the group runs (construction is single-threaded).
+func (n *Network) AttachOn(ep Endpoint, eng *sim.Engine) NodeID {
 	n.nextsID++
 	id := n.nextsID
-	nd := &node{id: id, endpoint: ep, rng: n.rng.Split()}
-	nd.egress = newPort(n, fmt.Sprintf("egress-%d", id), n.cfg.RateBps, 1<<30, true)
-	nd.ingress = newPort(n, fmt.Sprintf("ingress-%d", id), n.cfg.RateBps, n.cfg.IngressBufferBytes, n.cfg.Lossless)
+	nd := &node{id: id, endpoint: ep, eng: eng, part: eng.Partition(), rng: n.rng.Split()}
+	nd.egress = newPort(nd, fmt.Sprintf("egress-%d", id), n.cfg.RateBps, 1<<30, true)
+	nd.ingress = newPort(nd, fmt.Sprintf("ingress-%d", id), n.cfg.RateBps, n.cfg.IngressBufferBytes, n.cfg.Lossless)
 	n.nodes[id] = nd
 	return id
+}
+
+// Engine returns the engine a node's events run on.
+func (n *Network) Engine(id NodeID) *sim.Engine { return n.nodes[id].eng }
+
+// Delivered counts packets delivered to endpoints, across all nodes.
+func (n *Network) Delivered() uint64 { return n.sum(func(nd *node) uint64 { return nd.delivered.N }) }
+
+// DeliveredBytes counts payload bytes delivered, across all nodes.
+func (n *Network) DeliveredBytes() uint64 {
+	return n.sum(func(nd *node) uint64 { return nd.deliveredBytes.N })
+}
+
+// Dropped counts packets lost anywhere in the fabric.
+func (n *Network) Dropped() uint64 { return n.sum(func(nd *node) uint64 { return nd.dropped.N }) }
+
+// InjectedDrops counts packets dropped by per-link LossFuncs and downed
+// links (a subset of Dropped).
+func (n *Network) InjectedDrops() uint64 {
+	return n.sum(func(nd *node) uint64 { return nd.injectedDrops.N })
+}
+
+// sum folds a per-node statistic; addition commutes, so map order is fine.
+func (n *Network) sum(f func(*node) uint64) uint64 {
+	var total uint64
+	//npf:orderinvariant — summation commutes
+	for _, nd := range n.nodes {
+		total += f(nd)
+	}
+	return total
 }
 
 // SetNodeRate overrides both port rates of one node (e.g. the 12 Gb/s
@@ -149,24 +218,43 @@ func (n *Network) Send(pkt *Packet) {
 	}
 	src.egress.enqueue(pkt, func(p *Packet) {
 		// Egress done; after propagation the packet hits the destination
-		// ingress port.
-		n.eng.After(n.cfg.Propagation, func() {
-			dst := n.nodes[p.Dst]
-			dst.ingress.enqueue(p, func(p *Packet) {
-				if dst.loss != nil && dst.loss(p) {
-					n.Dropped.Inc()
-					n.InjectedDrops.Inc()
-					return
-				}
-				if n.cfg.LossProbability > 0 && dst.rng.Bernoulli(n.cfg.LossProbability) {
-					n.Dropped.Inc()
-					return
-				}
-				n.Delivered.Inc()
-				n.DeliveredBytes.Add(uint64(p.Size))
-				dst.endpoint.Deliver(p)
-			})
-		})
+		// ingress port. In partitioned mode a cross-partition hop rides
+		// the group mailbox — (src node id, per-node seq) is the
+		// deterministic tiebreak for same-instant arrivals from different
+		// senders. A hop between nodes of the same partition must NOT use
+		// the mailbox: a partition's execution bound is derived from the
+		// other partitions' clocks only, so its local tail could run past
+		// a self-posted mail and execute events out of timestamp order.
+		// The engine's own queue orders it correctly (and local events
+		// deterministically precede same-instant cross-partition mail).
+		dst := n.nodes[p.Dst]
+		arrive := func() { n.arrive(dst, p) }
+		if n.group != nil && dst.eng != src.eng {
+			src.seq++
+			n.group.Post(dst.part, src.eng.Now().Add(n.cfg.Propagation),
+				uint64(src.id), src.seq, arrive)
+		} else {
+			src.eng.After(n.cfg.Propagation, arrive)
+		}
+	})
+}
+
+// arrive runs on the destination node's partition: ingress serialization,
+// then loss decisions drawn from the destination's private stream.
+func (n *Network) arrive(dst *node, p *Packet) {
+	dst.ingress.enqueue(p, func(p *Packet) {
+		if dst.loss != nil && dst.loss(p) {
+			dst.dropped.Inc()
+			dst.injectedDrops.Inc()
+			return
+		}
+		if n.cfg.LossProbability > 0 && dst.rng.Bernoulli(n.cfg.LossProbability) {
+			dst.dropped.Inc()
+			return
+		}
+		dst.delivered.Inc()
+		dst.deliveredBytes.Add(uint64(p.Size))
+		dst.endpoint.Deliver(p)
 	})
 }
 
@@ -222,9 +310,10 @@ func (n *Network) QueuedBytes(id NodeID) int {
 	return n.nodes[id].ingress.queuedBytes
 }
 
-// port is a rate-limited FIFO stage.
+// port is a rate-limited FIFO stage. It belongs to one node and schedules
+// all of its events on that node's engine.
 type port struct {
-	net      *Network
+	owner    *node
 	name     string
 	rateBps  int64
 	capBytes int
@@ -242,17 +331,17 @@ type portItem struct {
 	done func(*Packet)
 }
 
-func newPort(net *Network, name string, rateBps int64, capBytes int, lossless bool) *port {
-	return &port{net: net, name: name, rateBps: rateBps, capBytes: capBytes, lossless: lossless}
+func newPort(owner *node, name string, rateBps int64, capBytes int, lossless bool) *port {
+	return &port{owner: owner, name: name, rateBps: rateBps, capBytes: capBytes, lossless: lossless}
 }
 
 func (p *port) enqueue(pkt *Packet, done func(*Packet)) {
 	if p.blackhole {
-		p.net.Dropped.Inc()
+		p.owner.dropped.Inc()
 		return
 	}
 	if !p.lossless && p.queuedBytes+pkt.Size > p.capBytes {
-		p.net.Dropped.Inc()
+		p.owner.dropped.Inc()
 		return
 	}
 	p.queue = append(p.queue, portItem{pkt, done})
@@ -276,7 +365,7 @@ func (p *port) kick() {
 	p.queuedBytes -= item.pkt.Size
 	p.busy = true
 	ser := sim.Time(int64(item.pkt.Size) * 8 * int64(sim.Second) / p.rateBps)
-	p.net.eng.After(ser, func() {
+	p.owner.eng.After(ser, func() {
 		p.busy = false
 		item.done(item.pkt)
 		p.kick()

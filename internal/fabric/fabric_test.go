@@ -83,7 +83,7 @@ func TestIngressOverflowDropsWhenLossy(t *testing.T) {
 	if len(b.pkts) != 0 {
 		t.Fatal("paused ingress delivered packets")
 	}
-	if net.Dropped.N == 0 {
+	if net.Dropped() == 0 {
 		t.Fatal("full lossy ingress should drop")
 	}
 	net.Pause(idb, false)
@@ -106,7 +106,7 @@ func TestLosslessNeverDrops(t *testing.T) {
 	if len(b.pkts) != 10 {
 		t.Fatalf("lossless delivered %d, want 10", len(b.pkts))
 	}
-	if net.Dropped.N != 0 {
+	if net.Dropped() != 0 {
 		t.Fatal("lossless fabric dropped")
 	}
 }
@@ -123,8 +123,8 @@ func TestLossInjection(t *testing.T) {
 	if got < n/3 || got > 2*n/3 {
 		t.Fatalf("delivered %d of %d with p=0.5 loss", got, n)
 	}
-	if int(net.Dropped.N)+got != n {
-		t.Fatalf("drops+delivered = %d, want %d", int(net.Dropped.N)+got, n)
+	if int(net.Dropped())+got != n {
+		t.Fatalf("drops+delivered = %d, want %d", int(net.Dropped())+got, n)
 	}
 }
 
@@ -160,5 +160,67 @@ func TestStreamsShareEgressFairlyEnough(t *testing.T) {
 	// 20 KB over a shared 1 B/ns egress ≥ 20 µs.
 	if end < 20000 {
 		t.Fatalf("finished too fast: %v", end)
+	}
+}
+
+// echoEP bounces every delivered packet back to its sender a few times,
+// recording arrival times — cross-partition ping-pong traffic.
+type echoEP struct {
+	net  *Network
+	id   NodeID
+	eng  *sim.Engine
+	log  []sim.Time
+	hops int
+}
+
+func (e *echoEP) Deliver(pkt *Packet) {
+	e.log = append(e.log, e.eng.Now())
+	if e.hops > 0 {
+		e.hops--
+		e.net.Send(&Packet{Src: e.id, Dst: pkt.Src, Size: pkt.Size})
+	}
+}
+
+// TestPartitionedFabricDeterministic: the same two-node exchange over a
+// partitioned fabric produces identical delivery timelines for any
+// worker-thread count, and matches the per-node counter aggregation.
+func TestPartitionedFabricDeterministic(t *testing.T) {
+	cfg := Config{RateBps: 8e9, Propagation: 2 * sim.Microsecond}
+	run := func(threads int) ([]sim.Time, []sim.Time, uint64) {
+		g := sim.NewGroup(1, 2, cfg.Lookahead())
+		net := NewOnGroup(g, cfg)
+		a := &echoEP{net: net, eng: g.Engine(0), hops: 50}
+		b := &echoEP{net: net, eng: g.Engine(1), hops: 50}
+		a.id = net.AttachOn(a, g.Engine(0))
+		b.id = net.AttachOn(b, g.Engine(1))
+		g.Engine(0).After(0, func() {
+			net.Send(&Packet{Src: a.id, Dst: b.id, Size: 1000})
+		})
+		g.SetThreads(threads)
+		g.Run()
+		return a.log, b.log, net.Delivered()
+	}
+	a1, b1, d1 := run(1)
+	if d1 == 0 || len(b1) == 0 {
+		t.Fatalf("no traffic: delivered=%d", d1)
+	}
+	if d1 != uint64(len(a1)+len(b1)) {
+		t.Fatalf("aggregate delivered %d != %d+%d", d1, len(a1), len(b1))
+	}
+	for _, threads := range []int{2} {
+		a2, b2, d2 := run(threads)
+		if d2 != d1 || len(a2) != len(a1) || len(b2) != len(b1) {
+			t.Fatalf("threads=%d diverged: delivered %d vs %d", threads, d2, d1)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("threads=%d: a[%d] = %v vs %v", threads, i, a2[i], a1[i])
+			}
+		}
+		for i := range b1 {
+			if b1[i] != b2[i] {
+				t.Fatalf("threads=%d: b[%d] = %v vs %v", threads, i, b2[i], b1[i])
+			}
+		}
 	}
 }

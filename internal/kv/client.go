@@ -139,7 +139,9 @@ func (s *Service) NewWorkload(cfg WorkloadConfig) *Workload {
 			wl: w, id: i, host: h, rng: s.Eng.Rand().Split(), quota: q,
 		})
 	}
-	tr := s.Tracer
+	// Latency and completion probes are client-tier state: they belong to
+	// the client tracer (the server tracer on a single-engine service).
+	tr := s.TracerC
 	tenant := cfg.Tenant
 	tr.Probe("kv."+tenant+".p50_us", func() float64 { return w.Lat.Percentile(50) })
 	tr.Probe("kv."+tenant+".p99_us", func() float64 { return w.Lat.Percentile(99) })
@@ -163,11 +165,11 @@ func (w *Workload) Start() {
 	for _, c := range w.clients {
 		c := c
 		if w.Cfg.OpenLoop {
-			w.svc.Eng.After(c.nextArrival(), func() { c.arrive() })
+			w.svc.cliEng.After(c.nextArrival(), func() { c.arrive() })
 		} else if c.quota > 0 {
 			// Deterministic small stagger so clients do not issue in
 			// lockstep on the first tick.
-			w.svc.Eng.After(sim.Time(c.id+1)*3*sim.Microsecond, func() { c.issue() })
+			w.svc.cliEng.After(sim.Time(c.id+1)*3*sim.Microsecond, func() { c.issue() })
 		}
 	}
 }
@@ -217,7 +219,7 @@ func (c *wlClient) arrive() {
 	}
 	c.issue()
 	if c.quota > 0 {
-		c.wl.svc.Eng.After(c.nextArrival(), func() { c.arrive() })
+		c.wl.svc.cliEng.After(c.nextArrival(), func() { c.arrive() })
 	}
 }
 
@@ -235,7 +237,7 @@ func (c *wlClient) issue() {
 	req := &pendingReq{
 		c: c, key: key, shard: shard, isGet: isGet,
 		size:  s.Cfg.ValueBytes,
-		start: s.Eng.Now(),
+		start: s.cliEng.Now(),
 	}
 	w.pending[id] = req
 
@@ -245,7 +247,7 @@ func (c *wlClient) issue() {
 			// Hot-key hit at the client tier: complete locally.
 			w.FrontHits.Inc()
 			s.cFrontHits.Add(1)
-			s.Eng.After(frontCacheCost, func() {
+			s.cliEng.After(frontCacheCost, func() {
 				if r, ok := w.pending[id]; ok {
 					delete(w.pending, id)
 					w.Hits.Inc()
@@ -264,6 +266,16 @@ func (c *wlClient) issue() {
 // frontCacheCost is the client-local cost of a front-cache hit.
 const frontCacheCost = 500 * sim.Nanosecond
 
+// clientPrimary is the primary host the client tier routes shard traffic
+// to: the placement table on a single-engine service, the client-side
+// snapshot (updated by promotions through Engine.Call) when partitioned.
+func (s *Service) clientPrimary(shard int) int {
+	if s.cliPrimary != nil {
+		return s.cliPrimary[shard]
+	}
+	return s.place.PrimaryHost(shard)
+}
+
 // sendReq (re)sends a pending op to the shard's current primary and arms
 // the retry timer.
 func (w *Workload) sendReq(id uint64, req *pendingReq) {
@@ -275,11 +287,11 @@ func (w *Workload) sendReq(id uint64, req *pendingReq) {
 		kind = rpcSet
 		wire += req.size
 	}
-	s.send(req.c.host, s.place.PrimaryHost(req.shard), wire, &rpcMsg{
+	s.send(req.c.host, s.clientPrimary(req.shard), wire, &rpcMsg{
 		Kind: kind, Shard: req.shard, Key: req.key, Size: req.size,
 		ReqID: id, Client: req.c.id,
 	})
-	req.timer = s.Eng.After(w.Cfg.RequestTimeout, func() {
+	req.timer = s.cliEng.After(w.Cfg.RequestTimeout, func() {
 		if w.pending[id] != req {
 			return
 		}
@@ -304,11 +316,11 @@ func (w *Workload) handleReply(id uint64, req *pendingReq, m *rpcMsg) {
 	if m.Redirect && req.attempts < 64 {
 		// The replica we asked is no longer primary. Retry immediately
 		// against the current placement table.
-		s.Eng.Cancel(req.timer)
+		s.cliEng.Cancel(req.timer)
 		w.sendReq(id, req)
 		return
 	}
-	s.Eng.Cancel(req.timer)
+	s.cliEng.Cancel(req.timer)
 	delete(w.pending, id)
 	if req.isGet {
 		if m.Hit {
@@ -324,11 +336,11 @@ func (w *Workload) handleReply(id uint64, req *pendingReq, m *rpcMsg) {
 // complete records one finished op and fires issue/done transitions.
 func (w *Workload) complete(req *pendingReq) {
 	s := w.svc
-	w.Lat.AddTime(s.Eng.Now() - req.start)
+	w.Lat.AddTime(s.cliEng.Now() - req.start)
 	s.cOps.Add(1)
 	w.completed++
 	if w.completed == w.Cfg.TargetOps {
-		w.DoneAt = s.Eng.Now()
+		w.DoneAt = s.cliEng.Now()
 		if w.OnDone != nil {
 			w.OnDone()
 		}

@@ -112,6 +112,13 @@ type Config struct {
 	// LogCap bounds each primary's replication log; gaps beyond it force a
 	// full-snapshot resync (default 8192 entries).
 	LogCap int
+
+	// ClientTracer receives the client tier's telemetry (workload probes,
+	// op/retry/front-cache counters) when the service runs partitioned: the
+	// client hosts live on their own engine, so their counters must belong
+	// to a tracer on that engine. Nil means the server tracer is used —
+	// correct whenever the service runs on a single engine.
+	ClientTracer *trace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +181,12 @@ type HostNode struct {
 	Name   string
 	Server bool
 
+	// eng is the engine this host's events run on: the service engine for
+	// servers, the client engine for clients. On a single-engine service
+	// both are Service.Eng. tr is the tracer its components publish to.
+	eng *sim.Engine
+	tr  *trace.Tracer
+
 	M   *mem.Machine
 	Drv *core.Driver
 
@@ -202,6 +215,11 @@ type HostNode struct {
 
 	// frontCache is the host-level hot-key cache client workloads share.
 	frontCache *frontCache
+
+	// connFails counts transport connection failures observed by this
+	// host's dialer. Per-host (single-writer under PDES: both the server
+	// and the client tier dial); Service.ConnFailures sums them.
+	connFails sim.Counter
 }
 
 // Service is one deployment: hosts, placement, shards, and counters. Build
@@ -212,56 +230,115 @@ type Service struct {
 	Tracer *trace.Tracer
 	Cfg    Config
 
+	// cliEng is the engine the client hosts run on. On a single-engine
+	// service it is Eng; when Net spans a PDES group the servers live on
+	// partition 0 (Eng) and the clients on partition 1. TracerC is the
+	// client tier's tracer (Cfg.ClientTracer, or Tracer when unset).
+	cliEng  *sim.Engine
+	TracerC *trace.Tracer
+
 	Hosts []*HostNode
 	place *Placement
+	// cliPrimary is the client tier's view of each shard's primary host.
+	// Nil on a single-engine service (clients read the placement table
+	// directly); in partitioned mode the table is server-partition state,
+	// so promotions forward the new routing to the client engine through
+	// Engine.Call and clients route from this snapshot. Stale routes
+	// (bounded by the fabric lookahead) resolve through redirects, exactly
+	// like stale routes on a real network.
+	cliPrimary []int
 
 	shards    [][]*replica // shard -> replicas in placement order
 	workloads []*Workload
-	nextReq   uint64 // service-global request IDs (unique across tenants)
+	nextReq   uint64 // service-global request IDs (client-partition state)
 
 	started bool
-	stopped bool
+	// stopped is split per partition so each side's control loops read
+	// only their own engine's state: stoppedSrv parks the heartbeat and
+	// detector loops, stoppedCli parks client-side re-dials. Stop sets
+	// both (through Engine.Call for the server side when partitioned).
+	stoppedSrv bool
+	stoppedCli bool
 
 	// Counters (also mirrored into the tracer when one is attached).
+	// All of these are written from server-partition events only.
 	Failovers    sim.Counter
 	Redirects    sim.Counter
 	ReplTimeouts sim.Counter
 	Resyncs      sim.Counter
 	Shed         sim.Counter
 	ArenaEvicts  sim.Counter
-	ConnFailures sim.Counter
 
-	cOps       *trace.Counter
+	cOps       *trace.Counter // client tracer
 	cFailovers *trace.Counter
 	cReplTO    *trace.Counter
 	cResyncs   *trace.Counter
 	cShed      *trace.Counter
 	cRedirects *trace.Counter
-	cFrontHits *trace.Counter
-	cRetries   *trace.Counter
+	cFrontHits *trace.Counter // client tracer
+	cRetries   *trace.Counter // client tracer
+}
+
+// ClientEngine returns the engine the client hosts run on: Eng on a
+// single-engine service, the client partition's engine when partitioned.
+// Events that interact with workloads (e.g. scheduling Stop after OnDone)
+// must run on this engine.
+func (s *Service) ClientEngine() *sim.Engine { return s.cliEng }
+
+// ConnFailures sums transport connection failures across every host.
+func (s *Service) ConnFailures() uint64 {
+	var n uint64
+	for _, h := range s.Hosts {
+		n += h.connFails.N
+	}
+	return n
 }
 
 // New builds the service on eng and net: hosts, transports (a full mesh
 // between every host pair), shard replicas with their per-shard memory
 // groups and arenas, and the registration policy's pinning state. tr may
 // be nil (telemetry off).
+//
+// When net spans a PDES group (fabric.NewOnGroup), eng must be partition
+// 0's engine: the server hosts are placed there and every client host on
+// partition 1, so one cluster executes on two engine threads while staying
+// byte-identical to the single-engine run of the same seed. Construction,
+// Start, and prepopulation are single-threaded (pre-run), so they may
+// touch both partitions' state freely.
 func New(eng *sim.Engine, net *fabric.Network, tr *trace.Tracer, cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	s := &Service{Eng: eng, Net: net, Tracer: tr, Cfg: cfg}
-	s.cOps = tr.Counter("kv.ops")
+	s.cliEng = eng
+	s.TracerC = tr
+	if g := net.Group(); g != nil && g.Parts() > 1 {
+		if eng != g.Engine(0) {
+			panic("kv: partitioned service must be built on the group's partition-0 engine")
+		}
+		s.cliEng = g.Engine(1)
+		if cfg.ClientTracer != nil {
+			s.TracerC = cfg.ClientTracer
+		}
+	}
+	s.cOps = s.TracerC.Counter("kv.ops")
 	s.cFailovers = tr.Counter("kv.failovers")
 	s.cReplTO = tr.Counter("kv.repl_timeouts")
 	s.cResyncs = tr.Counter("kv.resyncs")
 	s.cShed = tr.Counter("kv.shed")
 	s.cRedirects = tr.Counter("kv.redirects")
-	s.cFrontHits = tr.Counter("kv.frontcache_hits")
-	s.cRetries = tr.Counter("kv.retries")
+	s.cFrontHits = s.TracerC.Counter("kv.frontcache_hits")
+	s.cRetries = s.TracerC.Counter("kv.retries")
 
 	serverIdx := make([]int, cfg.ServerHosts)
 	for i := range serverIdx {
 		serverIdx[i] = i
 	}
 	s.place = NewPlacement(cfg.Shards, cfg.Replicas, serverIdx)
+	if s.cliEng != s.Eng {
+		s.cliPrimary = make([]int, cfg.Shards)
+		for i := range s.cliPrimary {
+			s.cliPrimary[i] = s.place.PrimaryHost(i)
+		}
+	}
 
 	total := cfg.ServerHosts + cfg.ClientHosts
 	for i := 0; i < total; i++ {
@@ -285,22 +362,26 @@ func (s *Service) newHost(i int) *HostNode {
 		svc:            s,
 		replicaByShard: make(map[int]*replica),
 	}
-	h.M = mem.NewMachine(s.Eng, 8<<30)
-	h.M.SetTracer(s.Tracer)
-	h.Drv = core.NewDriver(s.Eng, core.DefaultConfig())
-	h.Drv.SetTracer(s.Tracer)
+	h.eng, h.tr = s.Eng, s.Tracer
+	if !server {
+		h.eng, h.tr = s.cliEng, s.TracerC
+	}
+	h.M = mem.NewMachine(h.eng, 8<<30)
+	h.M.SetTracer(h.tr)
+	h.Drv = core.NewDriver(h.eng, core.DefaultConfig())
+	h.Drv.SetTracer(h.tr)
 	h.netAS = h.M.NewAddressSpace(h.Name+"-net", nil)
 	switch s.Cfg.Transport {
 	case TransportRC:
-		h.HCA = rc.NewHCA(s.Eng, s.Net, rc.DefaultConfig())
-		h.HCA.SetTracer(s.Tracer)
+		h.HCA = rc.NewHCA(h.eng, s.Net, rc.DefaultConfig())
+		h.HCA.SetTracer(h.tr)
 		h.Drv.AttachHCA(h.HCA)
 	default:
-		h.Dev = nic.NewDevice(s.Eng, s.Net, nic.DefaultConfig())
-		h.Dev.SetTracer(s.Tracer)
+		h.Dev = nic.NewDevice(h.eng, s.Net, nic.DefaultConfig())
+		h.Dev.SetTracer(h.tr)
 		h.Drv.AttachDevice(h.Dev)
 	}
-	h.mgmt = s.Net.Attach(&mgmtPort{svc: s, host: h})
+	h.mgmt = s.Net.AttachOn(&mgmtPort{svc: s, host: h}, h.eng)
 	h.frontCache = newFrontCache(0)
 	return h
 }
@@ -364,7 +445,9 @@ func (s *Service) hostMMUDomain(h *HostNode) *iommu.Domain {
 }
 
 // Start arms the heartbeat and failure-detector loops. Workload Start
-// calls it implicitly; it is idempotent.
+// calls it implicitly; it is idempotent. Call it before the run begins
+// (construction is single-threaded): the loops it arms live on the server
+// engine.
 func (s *Service) Start() {
 	if s.started {
 		return
@@ -387,11 +470,29 @@ func (s *Service) Start() {
 }
 
 // Stop quiesces the control plane: heartbeat and detector loops park at
-// their next tick. In-flight data-path work drains normally.
-func (s *Service) Stop() { s.stopped = true }
+// their next tick, client-side re-dials stop. In-flight data-path work
+// drains normally. Call it from a client-partition event (e.g. a workload
+// OnDone) or before the run: the server side's flag travels over the
+// group mailbox when the service is partitioned.
+func (s *Service) Stop() {
+	s.stoppedCli = true
+	if s.cliEng == s.Eng {
+		s.stoppedSrv = true
+		return
+	}
+	s.cliEng.Call(s.Eng, func() { s.stoppedSrv = true })
+}
+
+// sideStopped reports whether h's partition has been told to stop.
+func (s *Service) sideStopped(h *HostNode) bool {
+	if h.eng == s.cliEng {
+		return s.stoppedCli
+	}
+	return s.stoppedSrv
+}
 
 func (s *Service) heartbeatLoop(h *HostNode) {
-	if s.stopped {
+	if s.stoppedSrv {
 		return
 	}
 	// Advertise the applied sequence of every primary hosted here (the
@@ -424,7 +525,7 @@ func (s *Service) heartbeatLoop(h *HostNode) {
 // the shard's primary has missed heartbeats, demote (and resync) when the
 // placement table says someone else took the shard over.
 func (s *Service) detectorLoop(h *HostNode) {
-	if s.stopped {
+	if s.stoppedSrv {
 		return
 	}
 	now := s.Eng.Now()
@@ -464,6 +565,14 @@ func (s *Service) detectorLoop(h *HostNode) {
 			}
 			if cand == h.Index {
 				s.place.Promote(r.shard, h.Index)
+				if s.cliPrimary != nil {
+					// Partitioned: the placement table is server-side
+					// state. Forward the new route to the client engine;
+					// it lands one lookahead later, like a routing update
+					// crossing a real network.
+					shard, idx := r.shard, h.Index
+					s.Eng.Call(s.cliEng, func() { s.cliPrimary[shard] = idx })
+				}
 				s.Failovers.Inc()
 				s.cFailovers.Add(1)
 				r.promote()
@@ -565,6 +674,42 @@ func (s *Service) Spaces() []*mem.AddressSpace {
 	for _, reps := range s.shards {
 		for _, r := range reps {
 			out = append(out, r.as)
+		}
+	}
+	return out
+}
+
+// ServerDrivers returns the server-tier hosts' NPF drivers. In a
+// partitioned deployment these are the only drivers living on the group's
+// partition-0 engine, and therefore the only ones a chaos injector armed
+// on that engine may install hooks into.
+func (s *Service) ServerDrivers() []*core.Driver {
+	var out []*core.Driver
+	for _, h := range s.Hosts[:s.Cfg.ServerHosts] {
+		out = append(out, h.Drv)
+	}
+	return out
+}
+
+// ServerDevices returns the server-tier Ethernet NICs (empty under
+// TransportRC); see ServerDrivers for why chaos targets stop here.
+func (s *Service) ServerDevices() []*nic.Device {
+	var out []*nic.Device
+	for _, h := range s.Hosts[:s.Cfg.ServerHosts] {
+		if h.Dev != nil {
+			out = append(out, h.Dev)
+		}
+	}
+	return out
+}
+
+// ServerHCAs returns the server-tier HCAs (empty under TransportTCP); see
+// ServerDrivers for why chaos targets stop here.
+func (s *Service) ServerHCAs() []*rc.HCA {
+	var out []*rc.HCA
+	for _, h := range s.Hosts[:s.Cfg.ServerHosts] {
+		if h.HCA != nil {
+			out = append(out, h.HCA)
 		}
 	}
 	return out

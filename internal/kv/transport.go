@@ -150,10 +150,12 @@ func (e *tcpEndpoint) dial(to int) {
 	peerCh := e.svc.Hosts[to].ep.(*tcpEndpoint).stack.Channel()
 	c := e.stack.Dial(peerCh.Dev.Node, peerCh.Flow)
 	c.OnFail = func(err error) {
-		e.svc.ConnFailures.Inc()
+		e.host.connFails.Inc()
 		// Re-dial so a long partition does not sever the pair forever;
 		// queued messages on the failed conn are lost (clients retry).
-		if !e.svc.stopped {
+		// OnFail fires on the dialing host's engine, so it reads its own
+		// partition's stop flag.
+		if !e.svc.sideStopped(e.host) {
 			e.dial(to)
 		}
 	}

@@ -183,7 +183,7 @@ func NewDevice(eng *sim.Engine, net *fabric.Network, cfg Config) *Device {
 		rng:      eng.Rand().Split(),
 		channels: make(map[fabric.FlowID]*Channel),
 	}
-	d.Node = net.Attach(d)
+	d.Node = net.AttachOn(d, eng)
 	d.Backup = newBackupRing(d, defaultBackupEntries)
 	return d
 }

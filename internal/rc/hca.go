@@ -198,7 +198,7 @@ func NewHCA(eng *sim.Engine, net *fabric.Network, cfg Config) *HCA {
 		rng: eng.Rand().Split(),
 		qps: make(map[QPN]*QP),
 	}
-	h.Node = net.Attach(h)
+	h.Node = net.AttachOn(h, eng)
 	return h
 }
 

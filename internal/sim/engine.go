@@ -32,7 +32,24 @@ const (
 )
 
 // Forever is a time later than any event the engine will ever execute.
+// Events scheduled at exactly Forever (the result of a saturated Add) are
+// legal but never run.
 const Forever Time = math.MaxInt64
+
+// Add returns t+d saturated to [0, Forever] instead of wrapping:
+// scheduling arithmetic on long lookahead windows must never travel back
+// in time.
+func (t Time) Add(d Time) Time {
+	s := t + d
+	if d >= 0 {
+		if s < t {
+			return Forever
+		}
+	} else if s < 0 || s > t {
+		return 0
+	}
+	return s
+}
 
 // Duration converts a standard library duration into a virtual time span.
 // It is the one sanctioned wall-clock-type boundary in the sim layers.
@@ -105,6 +122,13 @@ type Engine struct {
 	// MaxEvents aborts Run with a panic after this many events, guarding
 	// against accidental infinite simulations. Zero means no limit.
 	MaxEvents uint64
+	// group/part link the engine to its PDES coordinator when it is one
+	// partition of a sim.Group; nil for standalone engines. callSeq
+	// numbers this engine's cross-partition Calls for deterministic
+	// timestamp tie-breaks.
+	group   *Group
+	part    int
+	callSeq uint64
 }
 
 // NewEngine returns an engine whose clock reads zero and whose random source
@@ -118,6 +142,24 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
+
+// Group returns the PDES group this engine is a partition of, or nil for
+// a standalone engine.
+func (e *Engine) Group() *Group { return e.group }
+
+// Partition returns the engine's partition index within its group, or 0
+// for a standalone engine.
+func (e *Engine) Partition() int { return e.part }
+
+// NextEventTime returns the timestamp of the earliest scheduled event, or
+// Forever when nothing is pending. It is the conservative-sync protocol's
+// view of the engine's next action.
+func (e *Engine) NextEventTime() Time {
+	if ev, _ := e.peek(); ev != nil {
+		return ev.at
+	}
+	return Forever
+}
 
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
@@ -171,12 +213,14 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	return EventID{ev, ev.gen}
 }
 
-// After schedules fn to run d nanoseconds from now.
+// After schedules fn to run d nanoseconds from now. The target time
+// saturates at Forever instead of wrapping, and events at Forever never
+// execute, so arbitrarily long delays are safe no-ops.
 func (e *Engine) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now+d, fn)
+	return e.At(e.now.Add(d), fn)
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already ran or
@@ -290,8 +334,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if next == nil {
 			break
 		}
-		if next.at > deadline {
-			if deadline != Forever {
+		if next.at > deadline || next.at == Forever {
+			if deadline != Forever && deadline > e.now {
 				e.flushImm()
 				e.now = deadline
 			}
@@ -312,6 +356,11 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		fn := next.fn
 		e.recycle(next)
 		fn()
+	}
+	if e.stopped && e.group != nil {
+		// Grouped engines must report the stopping event's own time so the
+		// coordinator can shrink the shared horizon deterministically.
+		return e.now
 	}
 	if deadline != Forever && e.now < deadline {
 		e.flushImm()

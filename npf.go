@@ -74,6 +74,9 @@ type (
 	Time = sim.Time
 	// Histogram collects latency samples.
 	Histogram = sim.Histogram
+	// EngineGroup is a set of per-partition engines advancing together
+	// under conservative-lookahead synchronization (WithEngines).
+	EngineGroup = sim.Group
 )
 
 // Re-exported time units.

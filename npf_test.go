@@ -174,7 +174,7 @@ func TestClusterChaosLateBinding(t *testing.T) {
 		if received != total {
 			t.Fatalf("received %d/%d under injected loss", received, total)
 		}
-		drops := cluster.Net.InjectedDrops.N
+		drops := cluster.Net.InjectedDrops()
 		if drops == 0 {
 			t.Fatal("cluster-level plan injected no drops on late-added hosts")
 		}
@@ -249,10 +249,10 @@ func TestClusterWithKV(t *testing.T) {
 		TargetOps: 600, Keys: 256, Prepopulate: true,
 	})
 	wl.OnDone = func() {
-		cluster.Eng.After(300*Millisecond, func() { cluster.KV.Stop() })
+		cluster.KV.ClientEngine().After(300*Millisecond, func() { cluster.KV.Stop() })
 	}
 	wl.Start()
-	cluster.Eng.RunUntil(60 * Second)
+	cluster.RunUntil(60 * Second)
 	if wl.Completed() != 600 {
 		t.Fatalf("completed %d of 600 ops", wl.Completed())
 	}
@@ -272,11 +272,101 @@ func TestClusterWithKVOverRC(t *testing.T) {
 			Transport: KVTransportRC, Reg: KVRegPinned}))
 	wl := cluster.KV.NewWorkload(KVWorkloadConfig{TargetOps: 400, Keys: 256, Prepopulate: true})
 	wl.OnDone = func() {
-		cluster.Eng.After(300*Millisecond, func() { cluster.KV.Stop() })
+		cluster.KV.ClientEngine().After(300*Millisecond, func() { cluster.KV.Stop() })
 	}
 	wl.Start()
-	cluster.Eng.RunUntil(60 * Second)
+	cluster.RunUntil(60 * Second)
 	if wl.Completed() != 400 {
 		t.Fatalf("completed %d of 400 ops", wl.Completed())
+	}
+}
+
+// TestClusterWithEnginesDeterminism shards a two-host RC cluster across two
+// partition engines and checks the run replays byte-identically for any
+// worker-thread count.
+func TestClusterWithEnginesDeterminism(t *testing.T) {
+	run := func(threads int) (uint64, uint64, Time) {
+		cluster := NewCluster(WithSeed(99), WithFabric(InfiniBandFabric()),
+			WithEngines(2), WithTracing())
+		cluster.Group.SetThreads(threads)
+		a := cluster.NewHost("a") // partition 0
+		b := cluster.NewHost("b") // partition 1
+		if a.Part != 0 || b.Part != 1 {
+			t.Fatalf("round-robin placement broke: a=%d b=%d", a.Part, b.Part)
+		}
+		src := a.NewProcess("src", nil)
+		src.MapBytes(8 << 20)
+		dst := b.NewProcess("dst", nil)
+		dst.MapBytes(8 << 20)
+		qpA, qpB := a.OpenQP(src), b.OpenQP(dst)
+		ConnectQPs(qpA, qpB)
+		recvd := 0
+		qpB.OnRecv = func(RecvCompletion) { recvd++ }
+		for i := 0; i < 20; i++ {
+			qpB.PostRecv(RecvWQE{ID: int64(i), Addr: VAddr(i%4) * 65536, Len: 64 << 10})
+			qpA.PostSend(SendWQE{ID: int64(i), Laddr: VAddr(i%4) * 65536, Len: 64 << 10})
+		}
+		end := cluster.Run()
+		if recvd != 20 {
+			t.Fatalf("threads=%d: received %d of 20", threads, recvd)
+		}
+		if b.Driver.NPFs.N == 0 {
+			t.Fatal("cold receive should have faulted")
+		}
+		return cluster.Group.Executed(), cluster.Digest(), end
+	}
+	e1, d1, t1 := run(1)
+	e2, d2, t2 := run(2)
+	if e1 != e2 || d1 != d2 || t1 != t2 {
+		t.Fatalf("thread counts diverged: (%d,%016x,%v) vs (%d,%016x,%v)",
+			e1, d1, t1, e2, d2, t2)
+	}
+}
+
+// TestClusterWithEnginesKV deploys the KV service split server-tier /
+// client-tier across two partition engines, with a memory-pressure chaos
+// plan armed against the server partition, and checks byte-identical
+// replay across thread counts.
+func TestClusterWithEnginesKV(t *testing.T) {
+	run := func(threads int) (uint64, uint64, int) {
+		plan := NewChaosPlan(MemoryPressure{
+			At: 5 * Millisecond, Period: 10 * Millisecond, Waves: 3,
+			LowBytes: 64 << 10, HighBytes: 0,
+		})
+		cluster := NewCluster(WithSeed(7), WithEngines(2),
+			WithKV(KVConfig{ServerHosts: 3, ClientHosts: 1, Shards: 4}),
+			WithChaos(plan))
+		cluster.Group.SetThreads(threads)
+		if cluster.KV.ClientEngine() != cluster.EngineFor(1) {
+			t.Fatal("client tier did not land on partition 1")
+		}
+		ij := cluster.Injector()
+		if len(ij.T.Drivers) != 3 {
+			t.Fatalf("chaos targets hold %d drivers, want the 3 servers", len(ij.T.Drivers))
+		}
+		wl := cluster.KV.NewWorkload(KVWorkloadConfig{
+			TargetOps: 600, Keys: 256, Prepopulate: true,
+		})
+		wl.OnDone = func() {
+			cluster.KV.ClientEngine().After(300*Millisecond, func() { cluster.KV.Stop() })
+		}
+		wl.Start()
+		cluster.RunUntil(60 * Second)
+		if wl.Completed() != 600 {
+			t.Fatalf("threads=%d: completed %d of 600 ops", threads, wl.Completed())
+		}
+		if got := cluster.KV.CheckConsistency(); len(got) != 0 {
+			t.Fatalf("replicas diverged: %v", got)
+		}
+		if cluster.KV.GroupEvictions() == 0 {
+			t.Fatal("memory-pressure waves never squeezed the shard groups")
+		}
+		return cluster.Group.Executed(), cluster.Digest(), wl.Completed()
+	}
+	e1, d1, c1 := run(1)
+	e2, d2, c2 := run(2)
+	if e1 != e2 || d1 != d2 || c1 != c2 {
+		t.Fatalf("thread counts diverged: (%d,%016x,%d) vs (%d,%016x,%d)",
+			e1, d1, c1, e2, d2, c2)
 	}
 }

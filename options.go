@@ -11,6 +11,7 @@ type ChannelOption interface{ applyChannel(*channelConfig) }
 
 type clusterConfig struct {
 	seed        int64
+	engines     int
 	fabric      FabricConfig
 	trace       bool
 	sampleEvery Time
@@ -21,6 +22,7 @@ type clusterConfig struct {
 type hostConfig struct {
 	ram    int64
 	driver DriverConfig
+	part   int // -1 = round-robin across partitions
 }
 
 type channelConfig struct {
@@ -46,6 +48,23 @@ func (f channelOption) applyChannel(c *channelConfig) { f(c) }
 // clusters built with the same seed and workload replay byte-identically.
 func WithSeed(seed int64) ClusterOption {
 	return clusterOption(func(c *clusterConfig) { c.seed = seed })
+}
+
+// WithEngines shards the cluster across n per-partition engines running
+// under a conservative-lookahead PDES group (the group's lookahead is the
+// fabric's propagation latency). Hosts are placed round-robin across
+// partitions unless pinned with WithPartition; cross-partition packets ride
+// the group's timestamped mailboxes, so results — trace digests, sampler
+// series, final clocks — are byte-identical to any other engine/thread
+// count for the same partition layout. n also sets the group's worker
+// thread budget (Cluster.Group.SetThreads adjusts it). n <= 1 keeps the
+// classic single sequential engine.
+//
+// With WithKV, the service splits server tier (partition 0) from client
+// tier (partition 1). A WithChaos plan is armed on partition 0, so only
+// partition-0 hosts and the KV server tier join its target set.
+func WithEngines(n int) ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.engines = n })
 }
 
 // WithFabric selects the fabric configuration (default EthernetFabric()).
@@ -89,6 +108,15 @@ func WithKV(cfg KVConfig) ClusterOption {
 // WithRAM sets the host's physical memory in bytes (default 8 GiB).
 func WithRAM(bytes int64) HostOption {
 	return hostOption(func(c *hostConfig) { c.ram = bytes })
+}
+
+// WithPartition pins the host to PDES partition p of a WithEngines(n)
+// cluster (default: round-robin placement). Components the host builds —
+// machine, driver, NIC, HCA — live on that partition's engine; schedule
+// work touching them there (Cluster.EngineFor). Ignored on single-engine
+// clusters.
+func WithPartition(p int) HostOption {
+	return hostOption(func(c *hostConfig) { c.part = p })
 }
 
 // WithDriverConfig overrides the host's NPF driver configuration (default

@@ -80,11 +80,30 @@ for seed in 1 7; do
     echo "chaos matrix ok (seed $seed)"
 done
 
+# PDES engines determinism matrix: the same partitioned run must produce
+# byte-identical reports — trace digests included — whether it gets 1 or 4
+# engine worker threads. Covers every chaos scenario (server tier and
+# client tier in separate partitions) and the KV registration ablation.
+# Wall-clock headers are the only nondeterministic output; strip them.
+echo "== engines determinism matrix =="
+tmp1=$(mktemp)
+tmp4=$(mktemp)
+go run ./cmd/npfbench -chaos all -engines 1 | sed 's/(wall [^)]*)//' > "$tmp1"
+go run ./cmd/npfbench -chaos all -engines 4 | sed 's/(wall [^)]*)//' > "$tmp4"
+diff "$tmp1" "$tmp4" || { echo "chaos digests differ between -engines 1 and 4" >&2; exit 1; }
+go run ./cmd/npfbench -quick -engines 1 kv | sed 's/(wall [^)]*)//' > "$tmp1"
+go run ./cmd/npfbench -quick -engines 4 kv | sed 's/(wall [^)]*)//' > "$tmp4"
+diff "$tmp1" "$tmp4" || { echo "kv ablation differs between -engines 1 and 4" >&2; exit 1; }
+rm -f "$tmp1" "$tmp4"
+echo "engines matrix ok (chaos + kv, -engines 1 vs 4)"
+
 # npflint: the determinism contracts (no wall clock in sim layers, no
 # order-dependent map walks, sim.Time-only signatures, nil-safe tracer
-# access, no deprecated positional shims) as a hard machine-checked gate.
+# access, no deprecated positional shims, no host concurrency bypassing
+# the cross-engine mailbox protocol) as a hard machine-checked gate.
 # The optshim analyzer subsumes the old grep-based deprecated-shim gate and
-# is robust to import aliasing and line wrapping.
+# is robust to import aliasing and line wrapping; xengine fences the sim
+# layers from sync/channel/go constructs that would race partitions.
 echo "== npflint =="
 go run ./cmd/npflint ./...
 
@@ -122,15 +141,20 @@ print("kv ablation ok:", ", ".join(
 EOF
 
 # npfstat regression gate: the quick run above must stay within generous
-# deltas of the committed baseline (BENCH_pr6.json, the current reference:
-# the full quick suite plus the KV ablation section). Structural drift
-# (missing experiments, engine-count changes, event counts beyond
-# -count-tol, KV metric drift, allocs/op regressions) hard-fails;
-# wall-clock deltas are machine noise and only warn. The -series capture
-# adds a handful of sampler tick events per engine, which -count-tol
-# comfortably absorbs.
+# deltas of the committed baseline (BENCH_pr7.json, the current reference:
+# the quick fig3/ablate/kv suite plus the KV ablation and PDES scaling
+# sections). Structural drift (missing experiments, engine-count changes,
+# any event-count delta — engines and events gate exactly — KV metric
+# drift beyond -count-tol, allocs/op regressions) hard-fails; wall-clock
+# deltas are machine noise and only warn. The baseline was captured with
+# the same -series flag as the run above, so sampler tick events match
+# exactly; regenerate it with
+#   go run ./cmd/npfbench -quick -parallel 0 -series /dev/null \
+#       -json BENCH_pr7.json fig3 ablate kv scale
+# (the trailing scale experiment adds the scaling section; the diff
+# ignores baseline-only sections, so CI skips re-measuring it).
 echo "== npfstat regression gate =="
-go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr6.json "$tmpjson"
+go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr7.json "$tmpjson"
 
 # npfstat render smoke: the series CSV written above must parse and render.
 echo "== npfstat render smoke =="
