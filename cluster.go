@@ -1,6 +1,8 @@
 package npf
 
 import (
+	"fmt"
+
 	"npf/internal/chaos"
 	"npf/internal/core"
 	"npf/internal/fabric"
@@ -9,6 +11,7 @@ import (
 	"npf/internal/nic"
 	"npf/internal/rc"
 	"npf/internal/sim"
+	"npf/internal/topo"
 	"npf/internal/trace"
 )
 
@@ -42,6 +45,11 @@ type Cluster struct {
 	// KV is non-nil when the cluster was built with WithKV: a sharded,
 	// replicated key-value service deployed across the fabric.
 	KV *KVService
+	// Swarm is non-nil when the cluster was built with WithSwarm: a
+	// scale-out sweep (O(10^3) hosts, O(10^5..10^6) logical clients) over
+	// the cluster's fabric. It starts automatically on Run; read
+	// Swarm.Result() afterwards.
+	Swarm *ClusterSweep
 
 	injector *chaos.Injector
 	nextPart int
@@ -105,6 +113,13 @@ func NewCluster(opts ...ClusterOption) *Cluster {
 			ij.T.Spaces = append(ij.T.Spaces, c.KV.NetSpaces()...)
 		}
 	}
+	if cfg.swarm != nil {
+		s, err := topo.New(c.Eng, c.Net, *cfg.swarm)
+		if err != nil {
+			panic("npf: WithSwarm: " + err.Error())
+		}
+		c.Swarm = s
+	}
 	return c
 }
 
@@ -138,8 +153,11 @@ func (c *Cluster) tracerFor(part int) *Tracer {
 }
 
 // Run drives the whole cluster — every partition — to quiescence and
-// returns the final virtual time.
+// returns the final virtual time. A WithSwarm sweep is started first.
 func (c *Cluster) Run() Time {
+	if c.Swarm != nil {
+		c.Swarm.Start()
+	}
 	if c.Group != nil {
 		return c.Group.Run()
 	}
@@ -147,8 +165,12 @@ func (c *Cluster) Run() Time {
 }
 
 // RunUntil drives the whole cluster to the horizon (or quiescence,
-// whichever comes first) and returns the final virtual time.
+// whichever comes first) and returns the final virtual time. A WithSwarm
+// sweep is started first.
 func (c *Cluster) RunUntil(until Time) Time {
+	if c.Swarm != nil {
+		c.Swarm.Start()
+	}
 	if c.Group != nil {
 		return c.Group.RunUntil(until)
 	}
@@ -201,13 +223,38 @@ type Host struct {
 // DefaultDriverConfig(); override with WithRAM and WithDriverConfig. On a
 // partitioned cluster the host lands on the next partition round-robin
 // unless WithPartition pins it; everything the host builds afterwards
-// lives on that partition's engine and tracer.
+// lives on that partition's engine and tracer. A misconfigured host (e.g.
+// WithPartition out of range) panics; use TryNewHost to get the error.
 func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
+	h, err := c.TryNewHost(name, opts...)
+	if err != nil {
+		panic("npf: " + err.Error())
+	}
+	return h
+}
+
+// TryNewHost is NewHost returning configuration errors instead of
+// panicking. In particular, WithPartition(p) with p outside the cluster's
+// engine range is reported here, at construction — not as a late index
+// panic when the partitioned run first touches the host.
+func (c *Cluster) TryNewHost(name string, opts ...HostOption) (*Host, error) {
 	cfg := hostConfig{ram: 8 << 30, driver: core.DefaultConfig(), part: -1}
 	for _, o := range opts {
 		o.applyHost(&cfg)
 	}
 	part := cfg.part
+	if cfg.partSet {
+		// Validate the explicit pin against the real engine count. On a
+		// single-engine cluster any in-range-looking value is documented as
+		// ignored, but a negative pin is a bug everywhere.
+		if part < 0 {
+			return nil, fmt.Errorf("host %q: WithPartition(%d) is negative", name, part)
+		}
+		if c.Group != nil && part >= c.Group.Parts() {
+			return nil, fmt.Errorf("host %q: WithPartition(%d) out of range: cluster has %d engines",
+				name, part, c.Group.Parts())
+		}
+	}
 	if c.Group == nil {
 		part = 0
 	} else if part < 0 {
@@ -231,7 +278,58 @@ func (c *Cluster) NewHost(name string, opts ...HostOption) *Host {
 	if c.injector != nil && part == 0 {
 		c.injector.T.Drivers = append(c.injector.T.Drivers, h.Driver)
 	}
-	return h
+	return h, nil
+}
+
+// HostTemplate is a reusable recipe for batch host construction: a name
+// pattern plus the options every host built from it shares. Templates are
+// values — define one per role (server, client, ...) and stamp out fleets:
+//
+//	tmpl := npf.HostTemplate{NamePattern: "srv-%03d", Options: []npf.HostOption{npf.WithRAM(32 << 30)}}
+//	servers, err := cluster.TryNewHosts(tmpl, 100)
+type HostTemplate struct {
+	// NamePattern is a fmt pattern receiving the host's index within the
+	// batch (default "host-%03d").
+	NamePattern string
+	// Options apply to every host built from the template, in order,
+	// before any per-call extras.
+	Options []HostOption
+}
+
+// NewHosts adds n hosts in one call, named "host-000".., all built with
+// the same options — the batch form of NewHost. On a partitioned cluster
+// the batch round-robins across partitions unless WithPartition pins it
+// (placement is identical to n NewHost calls in a loop). Use TryNewHosts
+// with a HostTemplate to control naming or collect errors.
+func (c *Cluster) NewHosts(n int, opts ...HostOption) []*Host {
+	hosts, err := c.TryNewHosts(HostTemplate{Options: opts}, n)
+	if err != nil {
+		panic("npf: " + err.Error())
+	}
+	return hosts
+}
+
+// TryNewHosts builds n hosts from a template. Construction is in index
+// order (host i's RNG splits before host i+1's), so a batch is
+// byte-equivalent to the loop it replaces. The first configuration error
+// aborts the batch.
+func (c *Cluster) TryNewHosts(t HostTemplate, n int) ([]*Host, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("TryNewHosts: negative count %d", n)
+	}
+	pattern := t.NamePattern
+	if pattern == "" {
+		pattern = "host-%03d"
+	}
+	hosts := make([]*Host, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := c.TryNewHost(fmt.Sprintf(pattern, i), t.Options...)
+		if err != nil {
+			return nil, err
+		}
+		hosts = append(hosts, h)
+	}
+	return hosts, nil
 }
 
 // NewHostRAM adds a host from positional parameters.

@@ -8,10 +8,20 @@
 // table5 as partitioned PDES runs at engine-thread budgets 1 and 8 and
 // records the speedup in the -json artifact's "scaling" section.
 //
+// The extra "scaleout" experiment (also not in the default set) runs the
+// million-user cluster sweep — 1,008 hosts and 101,000 logical clients per
+// transport on one fixed 8-partition group — and records the fleet shape,
+// per-tenant tails, bytes-per-host, and the run fingerprint in the -json
+// artifact's "scale_out" section. The partition count is fixed by the
+// fleet, so the section is byte-identical for every -engines and -parallel
+// value; -quick shrinks the fleet for smokes.
+//
 // Flags:
 //
 //	-quick      smaller trial counts / shorter runs (CI-friendly)
 //	-kv         append the distributed-KV registration ablation (the "kv"
+//	            experiment) to the selected set
+//	-scaleout   append the million-user cluster sweep (the "scaleout"
 //	            experiment) to the selected set
 //	-root       repository root for the loc experiment (default ".")
 //	-parallel   fan independent sweep jobs across N worker goroutines
@@ -121,6 +131,69 @@ type kvRow struct {
 	Failovers uint64  `json:"failovers"`
 }
 
+// scaleoutTenantRow is one tenant of one scale-out fleet in the -json
+// artifact: the registration-policy spectrum as fleet-wide tail latency.
+type scaleoutTenantRow struct {
+	Tenant   string  `json:"tenant"`
+	Reg      string  `json:"reg"`
+	Clients  int     `json:"clients"`
+	Ops      uint64  `json:"ops"`
+	Timeouts uint64  `json:"timeouts"`
+	Lost     uint64  `json:"lost"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+}
+
+// scaleoutRow is one transport's cluster-sweep fleet in the -json artifact.
+// Hosts, clients, ops, and the fingerprint are exact gates in npfstat (the
+// fingerprint folds every tail percentile, so it is the byte-identity
+// check across engine budgets); bytes_per_host is the cheap-per-host-state
+// gate, held within -count-tol.
+type scaleoutRow struct {
+	Transport    string              `json:"transport"`
+	Hosts        int                 `json:"hosts"`
+	Clients      int                 `json:"clients"`
+	Ops          uint64              `json:"ops"`
+	NPFs         uint64              `json:"npfs"`
+	Evictions    uint64              `json:"evictions"`
+	DropsFault   uint64              `json:"drops_fault"`
+	BytesPerHost int64               `json:"bytes_per_host"`
+	Fingerprint  string              `json:"fingerprint"`
+	Tenants      []scaleoutTenantRow `json:"tenants"`
+}
+
+// scaleoutRows flattens the cluster sweep into artifact rows.
+func scaleoutRows(r *bench.ScaleoutResult) []scaleoutRow {
+	rows := make([]scaleoutRow, len(r.Results))
+	for i, res := range r.Results {
+		row := scaleoutRow{
+			Transport:    res.Transport,
+			Hosts:        res.Hosts,
+			Clients:      res.Clients,
+			Ops:          res.Ops,
+			NPFs:         res.NPFs,
+			Evictions:    res.Evictions,
+			DropsFault:   res.DropsFault,
+			BytesPerHost: res.BytesPerHost,
+			Fingerprint:  fmt.Sprintf("%016x", res.Fingerprint),
+		}
+		for _, tn := range res.Tenants {
+			row.Tenants = append(row.Tenants, scaleoutTenantRow{
+				Tenant:   tn.Tenant,
+				Reg:      tn.Reg,
+				Clients:  tn.Clients,
+				Ops:      tn.Ops,
+				Timeouts: tn.Timeouts,
+				Lost:     tn.Lost,
+				P50Us:    tn.P50us,
+				P99Us:    tn.P99us,
+			})
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
 // scalingRow is one experiment's PDES speedup record in the -json artifact
 // (the "scale" pseudo-experiment): the same partitioned run timed under a
 // 1-thread and an 8-thread engine budget. The partition structure is fixed
@@ -144,6 +217,7 @@ type benchArtifact struct {
 	EngineBench bench.EngineBenchResult `json:"engine_bench"`
 	Series      *seriesSummary          `json:"series,omitempty"`
 	KV          []kvRow                 `json:"kv,omitempty"`
+	ScaleOut    []scaleoutRow           `json:"scale_out,omitempty"`
 	Scaling     []scalingRow            `json:"scaling,omitempty"`
 	Experiments []expResult             `json:"experiments"`
 }
@@ -224,6 +298,7 @@ func kvRows(r *bench.KVResult) []kvRow {
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	kvExp := flag.Bool("kv", false, "append the distributed-KV ablation to the selected experiments")
+	scaleoutExp := flag.Bool("scaleout", false, "append the million-user cluster sweep (the \"scaleout\" experiment) to the selected experiments")
 	root := flag.String("root", ".", "repository root (for the loc experiment)")
 	parallel := flag.Int("parallel", 1, "sweep worker goroutines (0 = one per CPU)")
 	engines := flag.Int("engines", 0, "partitioned PDES engine-thread budget (0 = single-engine mode)")
@@ -287,6 +362,15 @@ func main() {
 		}
 		if !seen {
 			experiments = append(experiments, "kv")
+		}
+	}
+	if *scaleoutExp {
+		seen := false
+		for _, e := range experiments {
+			seen = seen || e == "scaleout"
+		}
+		if !seen {
+			experiments = append(experiments, "scaleout")
 		}
 	}
 
@@ -354,6 +438,10 @@ func main() {
 		case "kv":
 			r := bench.RunKV(*quick)
 			artifact.KV = kvRows(r)
+			out = r.Render()
+		case "scaleout":
+			r := bench.RunScaleout(*quick)
+			artifact.ScaleOut = scaleoutRows(r)
 			out = r.Render()
 		case "scale":
 			// runScale drives its own engine-stats windows (one per timed

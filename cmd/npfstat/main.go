@@ -18,8 +18,11 @@
 // (both exact: engines and events are fully deterministic given the seed,
 // for any -parallel or -engines value), a KV-ablation metric (ops exactly;
 // p99/npfs/evictions/shed/failovers beyond -count-tol — all virtual-time
-// deterministic), a PDES-scaling row with drifted events, or an allocs/op
-// regression in the engine microbenchmark — is a hard failure (exit 1).
+// deterministic), a scale-out fleet row (hosts/clients/ops/fingerprint and
+// per-tenant ops/lost exactly; bytes-per-host, npfs, evictions, and tenant
+// p99 beyond -count-tol), a PDES-scaling row with drifted events, or an
+// allocs/op regression in the engine microbenchmark — is a hard failure
+// (exit 1).
 // Wall-clock, events-per-second, and scaling-speedup deltas are
 // machine-load noise and only warn, unless -fail-on-timing promotes them.
 // Exit codes: 0 pass, 1 fail, 2 usage.
@@ -69,6 +72,37 @@ type scalingRow struct {
 	Events  uint64  `json:"events"`
 }
 
+// scaleoutTenantRow mirrors one tenant of a scale-out fleet.
+type scaleoutTenantRow struct {
+	Tenant   string  `json:"tenant"`
+	Reg      string  `json:"reg"`
+	Clients  int     `json:"clients"`
+	Ops      uint64  `json:"ops"`
+	Timeouts uint64  `json:"timeouts"`
+	Lost     uint64  `json:"lost"`
+	P50Us    float64 `json:"p50_us"`
+	P99Us    float64 `json:"p99_us"`
+}
+
+// scaleoutRow mirrors one transport's cluster-sweep fleet ("scaleout"
+// experiment). The fleet shape (hosts/clients), completed ops, and the run
+// fingerprint gate exactly — the fingerprint folds every per-tenant tail
+// percentile, so it is the byte-identity check across engine budgets and
+// -parallel fan-outs. Bytes-per-host (the cheap-per-host-state budget) and
+// the NPF-machinery counters gate within -count-tol.
+type scaleoutRow struct {
+	Transport    string              `json:"transport"`
+	Hosts        int                 `json:"hosts"`
+	Clients      int                 `json:"clients"`
+	Ops          uint64              `json:"ops"`
+	NPFs         uint64              `json:"npfs"`
+	Evictions    uint64              `json:"evictions"`
+	DropsFault   uint64              `json:"drops_fault"`
+	BytesPerHost int64               `json:"bytes_per_host"`
+	Fingerprint  string              `json:"fingerprint"`
+	Tenants      []scaleoutTenantRow `json:"tenants"`
+}
+
 // artifact mirrors the npfbench -json document (fields npfstat reads).
 type artifact struct {
 	GoVersion   string `json:"go_version"`
@@ -84,9 +118,10 @@ type artifact struct {
 		Metrics int    `json:"metrics"`
 		Digest  string `json:"digest"`
 	} `json:"series,omitempty"`
-	KV          []kvRow      `json:"kv,omitempty"`
-	Scaling     []scalingRow `json:"scaling,omitempty"`
-	Experiments []expRow     `json:"experiments"`
+	KV          []kvRow       `json:"kv,omitempty"`
+	ScaleOut    []scaleoutRow `json:"scale_out,omitempty"`
+	Scaling     []scalingRow  `json:"scaling,omitempty"`
+	Experiments []expRow      `json:"experiments"`
 }
 
 func readArtifact(path string) (*artifact, error) {
@@ -274,6 +309,77 @@ func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
 			count(scope, "evictions", float64(b.Evictions), float64(c.Evictions))
 			count(scope, "shed", float64(b.Shed), float64(c.Shed))
 			count(scope, "failovers", float64(b.Failovers), float64(c.Failovers))
+		}
+	}
+
+	if len(cur.ScaleOut) > 0 {
+		soBase := make(map[string]*scaleoutRow, len(base.ScaleOut))
+		for i := range base.ScaleOut {
+			soBase[base.ScaleOut[i].Transport] = &base.ScaleOut[i]
+		}
+		exact := func(scope, metric string, b, c uint64, note string) {
+			r := row{scope: scope, metric: metric,
+				base: fmt.Sprint(b), cur: fmt.Sprint(c),
+				delta: fmtDelta(relDelta(float64(b), float64(c)))}
+			if c != b {
+				r.note = note
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+		}
+		count := func(scope, metric string, b, c float64) {
+			d := relDelta(b, c)
+			r := row{scope: scope, metric: metric,
+				base: fmt.Sprintf("%.0f", b), cur: fmt.Sprintf("%.0f", c), delta: fmtDelta(d)}
+			if math.Abs(d) > cfg.countTol {
+				r.note = fmt.Sprintf("beyond count-tol %.2f", cfg.countTol)
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+		}
+		for i := range cur.ScaleOut {
+			c := &cur.ScaleOut[i]
+			scope := "so/" + c.Transport
+			b, ok := soBase[c.Transport]
+			if !ok {
+				fail(row{scope: scope, metric: "presence", base: "-", cur: "present",
+					delta: "new", note: "transport not in baseline"})
+				continue
+			}
+			// The fleet shape and completed ops are correctness invariants:
+			// a missing host or a lost client op is a bug, not drift.
+			exact(scope, "hosts", uint64(b.Hosts), uint64(c.Hosts), "fleet-shape drift")
+			exact(scope, "clients", uint64(b.Clients), uint64(c.Clients), "client-count drift")
+			exact(scope, "ops", b.Ops, c.Ops, "completed-op drift (lost or duplicated ops)")
+			r := row{scope: scope, metric: "fingerprint", base: b.Fingerprint, cur: c.Fingerprint}
+			if c.Fingerprint != b.Fingerprint {
+				r.note = "run fingerprint drift (deterministic given seed)"
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+			count(scope, "bytes_per_host", float64(b.BytesPerHost), float64(c.BytesPerHost))
+			count(scope, "npfs", float64(b.NPFs), float64(c.NPFs))
+			count(scope, "evictions", float64(b.Evictions), float64(c.Evictions))
+			tnBase := make(map[string]*scaleoutTenantRow, len(b.Tenants))
+			for j := range b.Tenants {
+				tnBase[b.Tenants[j].Tenant] = &b.Tenants[j]
+			}
+			for j := range c.Tenants {
+				ct := &c.Tenants[j]
+				tscope := scope + "/" + ct.Tenant
+				bt, ok := tnBase[ct.Tenant]
+				if !ok {
+					fail(row{scope: tscope, metric: "presence", base: "-", cur: "present",
+						delta: "new", note: "tenant not in baseline"})
+					continue
+				}
+				exact(tscope, "ops", bt.Ops, ct.Ops, "tenant completed-op drift")
+				exact(tscope, "lost", bt.Lost, ct.Lost, "lost-op drift")
+				count(tscope, "p99_us", bt.P99Us, ct.P99Us)
+			}
 		}
 	}
 

@@ -60,8 +60,14 @@ func (n *node) register(buf npf.VAddr, also *npf.QP) npf.Time {
 func run(usePinCache bool) (npf.Time, uint64) {
 	cluster := npf.NewCluster(npf.WithSeed(3), npf.WithFabric(npf.InfiniBandFabric()))
 	ring := make([]*node, nodes)
-	for i := range ring {
-		h := cluster.NewHost(fmt.Sprint("node", i), npf.WithRAM(32<<30))
+	hosts, err := cluster.TryNewHosts(npf.HostTemplate{
+		NamePattern: "node%d",
+		Options:     []npf.HostOption{npf.WithRAM(32 << 30)},
+	}, nodes)
+	if err != nil {
+		panic(err)
+	}
+	for i, h := range hosts {
 		as := h.NewProcess("rank", nil)
 		as.MapBytes(buffers * msgSize)
 		ring[i] = &node{host: h, as: as}

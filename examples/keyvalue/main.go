@@ -44,7 +44,7 @@ func run(reg npf.KVRegPolicy) {
 		})
 	}
 
-	wl := svc.NewWorkload(npf.KVWorkloadConfig{
+	wl := svc.NewWorkload(npf.WorkloadConfig{
 		TargetOps: 2000, Keys: 1024, ZipfS: 1.1, GetRatio: 0.9,
 		Prepopulate: true, FrontCacheEntries: 32,
 	})

@@ -1,13 +1,15 @@
 // Package optshim defines an analyzer that flags first-party use of the
-// deprecated positional constructor shims.
+// deprecated facade shims: positional constructors and superseded type
+// aliases.
 //
 // The functional-options redesign (PR 3) kept NewClusterSeed, NewHostRAM,
 // and OpenChannelRing as shims for external users mid-migration, but
 // first-party code must use NewCluster/NewHost/OpenChannel with options.
-// This replaces the old grep gate in ci.sh: being type-aware, it is robust
-// to import aliasing, dot imports, and line-wrapping that grep was blind
-// to, and it skips _test.go files (which pin the shims' behavior on
-// purpose).
+// The workload unification (PR 8) likewise kept KVWorkloadConfig as an
+// alias of the shared WorkloadConfig. This replaces the old grep gate in
+// ci.sh: being type-aware, it is robust to import aliasing, dot imports,
+// and line-wrapping that grep was blind to, and it skips _test.go files
+// (which pin the shims' behavior on purpose).
 package optshim
 
 import (
@@ -20,12 +22,13 @@ import (
 	"golang.org/x/tools/go/ast/inspector"
 )
 
-const Doc = `flag first-party use of deprecated positional constructor shims
+const Doc = `flag first-party use of deprecated facade shims
 
 NewClusterSeed, NewHostRAM, and OpenChannelRing exist only for external
 users mid-migration; first-party code uses the functional-options API
-(NewCluster/NewHost/OpenChannel + With* options). _test.go files are
-exempt: they pin the shims' delegation behavior.`
+(NewCluster/NewHost/OpenChannel + With* options). The KVWorkloadConfig
+type alias is likewise deprecated in favor of the shared WorkloadConfig.
+_test.go files are exempt: they pin the shims' behavior.`
 
 var Analyzer = &analysis.Analyzer{
 	Name:     "optshim",
@@ -41,22 +44,37 @@ var shims = map[string]string{
 	"OpenChannelRing": "OpenChannel(WithRingSize(...))",
 }
 
+// deprecatedTypes maps deprecated type alias → the type that replaced it.
+// Aliases are indistinguishable from their target once resolved, so the
+// check keys on the *types.TypeName object declared in the root package —
+// spelling the new name never matches, however the import is aliased.
+var deprecatedTypes = map[string]string{
+	"KVWorkloadConfig": "WorkloadConfig",
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.Preorder([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node) {
 		id := n.(*ast.Ident)
-		fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "npf" {
-			return
-		}
-		repl, deprecated := shims[fn.Name()]
-		if !deprecated {
-			return
-		}
 		if strings.HasSuffix(pass.Fset.Position(id.Pos()).Filename, "_test.go") {
 			return
 		}
-		pass.Reportf(id.Pos(), "%s is a deprecated positional shim; use %s", fn.Name(), repl)
+		switch obj := pass.TypesInfo.Uses[id].(type) {
+		case *types.Func:
+			if obj.Pkg() == nil || obj.Pkg().Path() != "npf" {
+				return
+			}
+			if repl, deprecated := shims[obj.Name()]; deprecated {
+				pass.Reportf(id.Pos(), "%s is a deprecated positional shim; use %s", obj.Name(), repl)
+			}
+		case *types.TypeName:
+			if obj.Pkg() == nil || obj.Pkg().Path() != "npf" {
+				return
+			}
+			if repl, deprecated := deprecatedTypes[obj.Name()]; deprecated {
+				pass.Reportf(id.Pos(), "%s is a deprecated alias; use %s", obj.Name(), repl)
+			}
+		}
 	})
 	return nil, nil
 }

@@ -13,10 +13,15 @@ func bad() {
 	h := renamed.NewHostRAM(c, 1<<30) // want `NewHostRAM is a deprecated positional shim`
 	_ = renamed.
 		OpenChannelRing(h, 256) // want `OpenChannelRing is a deprecated positional shim`
+	var w npf.KVWorkloadConfig                // want `KVWorkloadConfig is a deprecated alias`
+	_ = renamed.KVWorkloadConfig{Tenant: "t"} // want `KVWorkloadConfig is a deprecated alias`
+	_ = w
 }
 
 func good() {
 	c := npf.NewCluster(npf.WithSeed(7))
 	h := npf.NewHost(c)
 	_ = npf.OpenChannel(h)
+	// The replacement type resolves to a different TypeName: never flagged.
+	_ = npf.WorkloadConfig{Tenant: "t"}
 }

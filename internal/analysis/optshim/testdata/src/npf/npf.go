@@ -23,3 +23,12 @@ func OpenChannel(h *Host) *Channel { return &Channel{} }
 
 // Deprecated: use OpenChannel with WithRingSize.
 func OpenChannelRing(h *Host, ring int) *Channel { return OpenChannel(h) }
+
+// WorkloadConfig shapes one tenant's load generator.
+type WorkloadConfig struct {
+	Tenant  string
+	Clients int
+}
+
+// Deprecated: use WorkloadConfig.
+type KVWorkloadConfig = WorkloadConfig

@@ -16,6 +16,7 @@ import (
 	"npf/internal/rc"
 	"npf/internal/sim"
 	"npf/internal/tcp"
+	"npf/internal/topo"
 	"npf/internal/trace"
 )
 
@@ -127,27 +128,26 @@ func NewEthEnv(o EthOpts) *EthEnv {
 			tr = trace.New(eng)
 		}
 		net := fabric.NewOnGroup(g, fcfg)
-		m := mem.NewMachine(eng, o.ServerRAM)
-		m.SetTracer(tr)
-		cm := mem.NewMachine(ceng, 8<<30)
-		drv := core.NewDriver(eng, dcfg)
-		drv.SetTracer(tr)
-		cdrv := core.NewDriver(ceng, dcfg)
-		e = &EthEnv{Eng: eng, G: g, ClientEng: ceng, Net: net, M: m,
-			ClientM: cm, Drv: drv, ClientDrv: cdrv, Tracer: tr}
+		// One spec stamps out both substrates (machines and drivers don't
+		// split RNGs, so the per-host grouping preserves seeded results).
+		spec := topo.HostSpec{RAM: o.ServerRAM, Driver: dcfg}
+		srv := spec.Build(eng, net, tr, "server")
+		spec.RAM = 8 << 30
+		cli := spec.Build(ceng, net, nil, "client")
+		e = &EthEnv{Eng: eng, G: g, ClientEng: ceng, Net: net, M: srv.M,
+			ClientM: cli.M, Drv: srv.Drv, ClientDrv: cli.Drv, Tracer: tr}
 	} else {
 		eng, tr := newEnvEngine(o.Seed + 1)
 		if o.Trace && tr == nil {
 			tr = trace.New(eng)
 		}
 		net := fabric.New(eng, fabric.DefaultEthernet())
-		m := mem.NewMachine(eng, o.ServerRAM)
-		m.SetTracer(tr)
+		srv := topo.HostSpec{RAM: o.ServerRAM, Driver: dcfg}.Build(eng, net, tr, "server")
+		// Single-engine mode shares the server driver with the client host
+		// (two devices, one driver) — only the client machine is separate.
 		cm := mem.NewMachine(eng, 8<<30)
-		drv := core.NewDriver(eng, dcfg)
-		drv.SetTracer(tr)
-		e = &EthEnv{Eng: eng, ClientEng: eng, Net: net, M: m,
-			ClientM: cm, Drv: drv, ClientDrv: drv, Tracer: tr}
+		e = &EthEnv{Eng: eng, ClientEng: eng, Net: net, M: srv.M,
+			ClientM: cm, Drv: srv.Drv, ClientDrv: srv.Drv, Tracer: tr}
 	}
 	e.Server = e.newHost(e.Eng, e.Drv, e.M, "server", o.Policy, o.RingSize, o.ServerCgroup, o.Jitter)
 	e.Client = e.newHost(e.ClientEng, e.ClientDrv, e.ClientM, "client", nic.PolicyPinned, 256, nil, o.Jitter)
@@ -316,15 +316,11 @@ func NewIBEnv(o IBOpts) *IBEnv {
 		}
 		net := fabric.NewOnGroup(g, fcfg)
 		e = &IBEnv{Eng: eng, G: g, EngB: engB, Net: net, Tracer: tr, TracerB: trB}
-		e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(engB, 128<<30)
-		e.MA.SetTracer(tr)
-		e.MB.SetTracer(trB)
-		e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(engB, core.DefaultConfig())
-		e.DrvA.SetTracer(tr)
-		e.DrvB.SetTracer(trB)
-		e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(engB, net, cfg)
-		e.HCAA.SetTracer(tr)
-		e.HCAB.SetTracer(trB)
+		spec := topo.HostSpec{RAM: 128 << 30, HCA: &cfg}
+		a, b := spec.Build(eng, net, tr, "a"), spec.Build(engB, net, trB, "b")
+		e.MA, e.MB = a.M, b.M
+		e.DrvA, e.DrvB = a.Drv, b.Drv
+		e.HCAA, e.HCAB = a.HCA, b.HCA
 	} else {
 		eng, tr := newEnvEngine(o.Seed + 1)
 		if o.Trace && tr == nil {
@@ -332,18 +328,14 @@ func NewIBEnv(o IBOpts) *IBEnv {
 		}
 		net := fabric.New(eng, fabric.DefaultInfiniBand())
 		e = &IBEnv{Eng: eng, EngB: eng, Net: net, Tracer: tr, TracerB: tr}
-		e.MA, e.MB = mem.NewMachine(eng, 128<<30), mem.NewMachine(eng, 128<<30)
-		e.MA.SetTracer(tr)
-		e.MB.SetTracer(tr)
-		e.DrvA, e.DrvB = core.NewDriver(eng, core.DefaultConfig()), core.NewDriver(eng, core.DefaultConfig())
-		e.DrvA.SetTracer(tr)
-		e.DrvB.SetTracer(tr)
-		e.HCAA, e.HCAB = rc.NewHCA(eng, net, cfg), rc.NewHCA(eng, net, cfg)
-		e.HCAA.SetTracer(tr)
-		e.HCAB.SetTracer(tr)
+		// Both sides share one engine: the spec builds them back to back in
+		// the historical order (HCA A's RNG splits before HCA B's).
+		spec := topo.HostSpec{RAM: 128 << 30, HCA: &cfg}
+		a, b := spec.Build(eng, net, tr, "a"), spec.Build(eng, net, tr, "b")
+		e.MA, e.MB = a.M, b.M
+		e.DrvA, e.DrvB = a.Drv, b.Drv
+		e.HCAA, e.HCAB = a.HCA, b.HCA
 	}
-	e.DrvA.AttachHCA(e.HCAA)
-	e.DrvB.AttachHCA(e.HCAB)
 	e.ASA = e.MA.NewAddressSpace("a", nil)
 	e.ASA.MapBytes(8 << 30)
 	e.ASB = e.MB.NewAddressSpace("b", nil)

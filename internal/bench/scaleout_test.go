@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+
+	"npf/internal/sim"
+	"npf/internal/workload"
+)
+
+// TestScaleoutDeterminism is the fleet-scale byte-identity pin: the same
+// cluster sweep rendered under engine-thread budgets 1, 2, and 8 — the
+// budgets only move wall-clock, never the partition structure — must agree
+// to the byte on both transports, fingerprints included. The full run is
+// the 1,008-host / 101,000-client fleet; -short (the CI race pass) shrinks
+// it to the quick fleet with the same shape.
+func TestScaleoutDeterminism(t *testing.T) {
+	quick := testing.Short()
+	var ref *ScaleoutResult
+	outs := map[int]string{}
+	for _, n := range []int{1, 2, 8} {
+		withEngines(n, func() {
+			r := RunScaleout(quick)
+			if ref == nil {
+				ref = r
+			}
+			outs[n] = r.Render()
+		})
+	}
+	for _, n := range []int{2, 8} {
+		if outs[n] != outs[1] {
+			t.Fatalf("sweep output depends on the engine budget:\n--- engines=1 ---\n%s\n--- engines=%d ---\n%s",
+				outs[1], n, outs[n])
+		}
+	}
+	wantOps := uint64(202000)
+	if quick {
+		wantOps = 7200
+	}
+	for _, res := range ref.Results {
+		if res.Ops != wantOps {
+			t.Errorf("[%s] completed %d of %d ops", res.Transport, res.Ops, wantOps)
+		}
+		for _, tn := range res.Tenants {
+			if tn.Lost != 0 {
+				t.Errorf("[%s] tenant %s lost %d ops", res.Transport, tn.Tenant, tn.Lost)
+			}
+		}
+		if res.BytesPerHost <= 0 || res.BytesPerHost > 1<<20 {
+			t.Errorf("[%s] bytes/host = %d, outside the cheap-per-host budget", res.Transport, res.BytesPerHost)
+		}
+	}
+}
+
+// TestScaleoutClientHotPathAllocs gates the per-client steady-state hot
+// path at zero allocations: one op draw, one interned key lookup, one
+// open-loop arrival draw. At 10^5 logical clients any per-op allocation
+// here dominates the heap profile, so this is a hard floor, not a budget.
+func TestScaleoutClientHotPathAllocs(t *testing.T) {
+	cfg := workload.Config{Keys: 4096, OpenLoop: true}.WithDefaults(4096)
+	eng := sim.NewEngine(7)
+	src := workload.NewSource(cfg, eng.Rand().Split())
+	var keys workload.KeyTable
+	keys.Name(cfg.Keys - 1) // warm the intern table end-to-end
+	now := sim.Time(0)
+	allocs := testing.AllocsPerRun(2000, func() {
+		_, k := src.NextOp()
+		_ = keys.Name(k)
+		now += src.NextArrival(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("per-client steady-state hot path allocates %.1f/op; want 0", allocs)
+	}
+}

@@ -1,74 +1,16 @@
 package kv
 
 import (
-	"fmt"
-
 	"npf/internal/sim"
+	"npf/internal/workload"
 )
 
-// WorkloadConfig sizes one tenant's load generator.
-type WorkloadConfig struct {
-	// Tenant names the workload; per-tenant latency probes are published
-	// as kv.<tenant>.p50_us / p99_us / p999_us (default "default").
-	Tenant string
-	// Clients is the number of concurrent closed-loop clients (or
-	// open-loop arrival streams), spread round-robin over the client
-	// hosts (default 8).
-	Clients int
-	// TargetOps is the total operation count across all clients (default
-	// 2000). The workload completes when every op has a reply.
-	TargetOps int
-	// GetRatio is the fraction of gets (default 0.9, memcached-style).
-	GetRatio float64
-	// Keys is the key-space size; keys are drawn Zipf-distributed so a
-	// hot head dominates (default Config.ExpectedKeys).
-	Keys int
-	// ZipfS is the Zipf exponent (default 1.1).
-	ZipfS float64
-	// OpenLoop issues ops on an exponential arrival clock regardless of
-	// completions (coordinated-omission-free); the default closed loop
-	// keeps one op outstanding per client.
-	OpenLoop bool
-	// ArrivalRate is ops/sec per client in open-loop mode (default 20k).
-	ArrivalRate float64
-	// FrontCacheEntries bounds the host-level hot-key front cache; 0
-	// disables it. Gets hitting the cache complete locally.
-	FrontCacheEntries int
-	// RequestTimeout retries an op that got no reply — lost to a downed
-	// link or a deposed primary (default 50ms).
-	RequestTimeout sim.Time
-	// Prepopulate bulk-loads every key into the stores (and their
-	// backups) before traffic, so gets hit and arenas start resident.
-	Prepopulate bool
-}
-
-func (c WorkloadConfig) withDefaults(svc *Service) WorkloadConfig {
-	if c.Tenant == "" {
-		c.Tenant = "default"
-	}
-	if c.Clients == 0 {
-		c.Clients = 8
-	}
-	if c.TargetOps == 0 {
-		c.TargetOps = 2000
-	}
-	if c.GetRatio == 0 {
-		c.GetRatio = 0.9
-	}
-	if c.Keys == 0 {
-		c.Keys = svc.Cfg.ExpectedKeys
-	}
-	if c.ZipfS == 0 {
-		c.ZipfS = 1.1
-	}
-	if c.ArrivalRate == 0 {
-		c.ArrivalRate = 20_000
-	}
-	if c.RequestTimeout == 0 {
-		c.RequestTimeout = 50 * sim.Millisecond
-	}
-	return c
-}
+// WorkloadConfig sizes one tenant's load generator. It is an alias of the
+// shared workload.Config: kv and the scale-out sweep (internal/topo) draw
+// from one generator implementation, and a config built for one layer works
+// verbatim in the other. Field semantics and defaults are unchanged from
+// the historical kv-private struct; Keys defaults to Config.ExpectedKeys.
+type WorkloadConfig = workload.Config
 
 // Workload is one tenant's load generator plus its latency accounting.
 type Workload struct {
@@ -102,7 +44,7 @@ type wlClient struct {
 	wl    *Workload
 	id    int
 	host  *HostNode
-	rng   *sim.Rand
+	src   workload.Source
 	quota int // ops this client still has to issue
 }
 
@@ -121,7 +63,7 @@ type pendingReq struct {
 // split from the engine in construction order, so results are independent
 // of when (or whether) other tenants run their ops.
 func (s *Service) NewWorkload(cfg WorkloadConfig) *Workload {
-	cfg = cfg.withDefaults(s)
+	cfg = cfg.WithDefaults(s.Cfg.ExpectedKeys)
 	w := &Workload{svc: s, Cfg: cfg, pending: make(map[uint64]*pendingReq)}
 	per := cfg.TargetOps / cfg.Clients
 	extra := cfg.TargetOps % cfg.Clients
@@ -136,7 +78,9 @@ func (s *Service) NewWorkload(cfg WorkloadConfig) *Workload {
 			h.frontCache.setCapacity(cfg.FrontCacheEntries)
 		}
 		w.clients = append(w.clients, &wlClient{
-			wl: w, id: i, host: h, rng: s.Eng.Rand().Split(), quota: q,
+			wl: w, id: i, host: h,
+			src:   workload.NewSource(cfg, s.Eng.Rand().Split()),
+			quota: q,
 		})
 	}
 	// Latency and completion probes are client-tier state: they belong to
@@ -180,7 +124,7 @@ func (w *Workload) Start() {
 func (w *Workload) prepopulate() {
 	s := w.svc
 	for k := 0; k < w.Cfg.Keys; k++ {
-		key := keyName(k)
+		key := s.keys.Name(k)
 		shard := s.place.ShardOfKey(key)
 		for _, r := range s.shards[shard] {
 			if _, ok := r.applySet(key, s.Cfg.ValueBytes); ok && r.primary {
@@ -203,12 +147,11 @@ func (w *Workload) prepopulate() {
 	}
 }
 
-func keyName(k int) string { return fmt.Sprintf("key-%07d", k) }
-
-// nextArrival draws the open-loop inter-arrival gap.
+// nextArrival draws the open-loop inter-arrival gap (Curve-modulated when
+// the workload config sets one; the zero Curve is the historical constant
+// rate, byte-identical to the pre-extraction draw).
 func (c *wlClient) nextArrival() sim.Time {
-	gap := c.rng.Exp(1e9 / c.wl.Cfg.ArrivalRate) // mean gap in ns
-	return sim.Time(gap) + sim.Nanosecond
+	return c.src.NextArrival(c.wl.svc.cliEng.Now())
 }
 
 // arrive is the open-loop tick: issue (regardless of completions) and
@@ -229,8 +172,8 @@ func (c *wlClient) issue() {
 	s := w.svc
 	c.quota--
 	w.issued++
-	isGet := c.rng.Bernoulli(w.Cfg.GetRatio)
-	key := keyName(c.rng.Zipf(w.Cfg.Keys, w.Cfg.ZipfS))
+	isGet, keyIdx := c.src.NextOp()
+	key := s.keys.Name(keyIdx)
 	shard := s.place.ShardOfKey(key)
 	s.nextReq++
 	id := s.nextReq

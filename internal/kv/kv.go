@@ -24,7 +24,9 @@ import (
 	"npf/internal/nic"
 	"npf/internal/rc"
 	"npf/internal/sim"
+	"npf/internal/topo"
 	"npf/internal/trace"
+	"npf/internal/workload"
 )
 
 // Transport selects the wire protocol shard traffic rides on.
@@ -251,6 +253,10 @@ type Service struct {
 	shards    [][]*replica // shard -> replicas in placement order
 	workloads []*Workload
 	nextReq   uint64 // service-global request IDs (client-partition state)
+	// keys interns the canonical key names once per service; the per-op
+	// path indexes it instead of Sprintf-ing. Client-partition state:
+	// written only from prepopulation (pre-traffic) and cliEng events.
+	keys workload.KeyTable
 
 	started bool
 	// stopped is split per partition so each side's control loops read
@@ -366,21 +372,21 @@ func (s *Service) newHost(i int) *HostNode {
 	if !server {
 		h.eng, h.tr = s.cliEng, s.TracerC
 	}
-	h.M = mem.NewMachine(h.eng, 8<<30)
-	h.M.SetTracer(h.tr)
-	h.Drv = core.NewDriver(h.eng, core.DefaultConfig())
-	h.Drv.SetTracer(h.tr)
-	h.netAS = h.M.NewAddressSpace(h.Name+"-net", nil)
+	// The substrate comes from a shared topo.HostSpec; Build's construction
+	// order (machine, driver, adapter) is the historical kv order, so RNG
+	// split order — and every seeded result — is unchanged.
+	spec := topo.HostSpec{}
 	switch s.Cfg.Transport {
 	case TransportRC:
-		h.HCA = rc.NewHCA(h.eng, s.Net, rc.DefaultConfig())
-		h.HCA.SetTracer(h.tr)
-		h.Drv.AttachHCA(h.HCA)
+		hcfg := rc.DefaultConfig()
+		spec.HCA = &hcfg
 	default:
-		h.Dev = nic.NewDevice(h.eng, s.Net, nic.DefaultConfig())
-		h.Dev.SetTracer(h.tr)
-		h.Drv.AttachDevice(h.Dev)
+		ncfg := nic.DefaultConfig()
+		spec.NIC = &ncfg
 	}
+	b := spec.Build(h.eng, s.Net, h.tr, h.Name)
+	h.M, h.Drv, h.Dev, h.HCA = b.M, b.Drv, b.Dev, b.HCA
+	h.netAS = h.M.NewAddressSpace(h.Name+"-net", nil)
 	h.mgmt = s.Net.AttachOn(&mgmtPort{svc: s, host: h}, h.eng)
 	h.frontCache = newFrontCache(0)
 	return h

@@ -121,6 +121,12 @@ func (as *AddressSpace) ResidentBytes() int64 { return as.residentBytes }
 // PinnedBytes reports bytes currently pinned.
 func (as *AddressSpace) PinnedBytes() int64 { return as.pinnedBytes }
 
+// PTEs reports how many page-table entries the space has materialised.
+// PTEs are allocated lazily on first touch, so this is the model-state
+// footprint a scale-out host actually pays for this space — the number the
+// topology layer's bytes-per-host accounting folds in.
+func (as *AddressSpace) PTEs() int { return len(as.pages) }
+
 // RegisterNotifier adds an MMU notifier invoked on invalidations.
 func (as *AddressSpace) RegisterNotifier(n Notifier) { as.notifiers = append(as.notifiers, n) }
 

@@ -36,6 +36,7 @@ const (
 type packet struct {
 	Kind     pktKind
 	SrcQPN   QPN
+	SrcNode  int // sender's fabric node; set for UD (address-handle replies)
 	DstQPN   QPN
 	PSN      uint64
 	Op       opKind

@@ -3,6 +3,7 @@ package rc
 import (
 	"fmt"
 
+	"npf/internal/fabric"
 	"npf/internal/iommu"
 	"npf/internal/mem"
 	"npf/internal/sim"
@@ -46,6 +47,9 @@ type RecvCompletion struct {
 	WQEID   int64
 	Len     int
 	Payload any
+	// From is the sender's address handle, set for UD datagrams only
+	// (RC connections already know their peer). Reply with PostSendUDTo.
+	From UDRemote
 }
 
 // QP is one reliable-connection queue pair. Wire both ends with Connect.
@@ -720,8 +724,27 @@ func (qp *QP) handleReadResp(pkt *packet) {
 // datagram and demand-pages the buffer, like the Ethernet drop policy (§4
 // "the NPF solution described next applies also to UD").
 
-// PostSendUD sends one unreliable datagram (length <= MTU).
+// UDRemote is a UD address handle: the fabric attachment of an HCA and a
+// QP number on it. Real verbs UD carries an address handle per send WQE —
+// one QP reaches any peer — which is exactly what lets a client swarm
+// address thousands of servers without per-pair connection state.
+type UDRemote struct {
+	Node fabric.NodeID
+	QPN  QPN
+}
+
+// Remote returns this QP's own UD address, for peers to reply to.
+func (qp *QP) Remote() UDRemote { return UDRemote{Node: qp.hca.Node, QPN: qp.QPN} }
+
+// PostSendUD sends one unreliable datagram (length <= MTU) to the
+// Connect-ed peer.
 func (qp *QP) PostSendUD(wqe SendWQE) {
+	qp.PostSendUDTo(UDRemote{Node: fabricNode(qp.peerNode), QPN: qp.peerQPN}, wqe)
+}
+
+// PostSendUDTo sends one unreliable datagram (length <= MTU) to an explicit
+// address handle; the QP needs no connection to the destination.
+func (qp *QP) PostSendUDTo(dst UDRemote, wqe SendWQE) {
 	if wqe.Len > qp.hca.Cfg.MTU {
 		panic("rc: UD message larger than MTU")
 	}
@@ -734,15 +757,15 @@ func (qp *QP) PostSendUD(wqe SendWQE) {
 			Resolved: func() {
 				qp.hca.Eng.After(qp.hca.Cfg.FirmwareResume, func() {
 					qp.sendPaused = false
-					qp.PostSendUD(wqe)
+					qp.PostSendUDTo(dst, wqe)
 				})
 			},
 		})
 		return
 	}
 	qp.dmaTouch(wqe.Laddr, wqe.Len, false)
-	qp.hca.send(fabricNode(qp.peerNode), &packet{
-		Kind: pktUD, SrcQPN: qp.QPN, DstQPN: qp.peerQPN,
+	qp.hca.send(dst.Node, &packet{
+		Kind: pktUD, SrcQPN: qp.QPN, SrcNode: int(qp.hca.Node), DstQPN: dst.QPN,
 		ChunkLen: wqe.Len, MsgLen: wqe.Len, Last: true, Payload: wqe.Payload,
 	}, wqe.Len)
 }
@@ -773,7 +796,10 @@ func (qp *QP) handleUD(pkt *packet) {
 	qp.dmaTouch(wqe.Addr, pkt.ChunkLen, true)
 	qp.rq = qp.rq[1:]
 	if qp.OnRecv != nil {
-		comp := RecvCompletion{WQEID: wqe.ID, Len: pkt.MsgLen, Payload: pkt.Payload}
+		comp := RecvCompletion{
+			WQEID: wqe.ID, Len: pkt.MsgLen, Payload: pkt.Payload,
+			From: UDRemote{Node: fabricNode(pkt.SrcNode), QPN: pkt.SrcQPN},
+		}
 		qp.hca.Eng.After(qp.hca.Cfg.IntLatency, func() { qp.OnRecv(comp) })
 	}
 }

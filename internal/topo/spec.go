@@ -1,0 +1,78 @@
+package topo
+
+import (
+	"npf/internal/core"
+	"npf/internal/fabric"
+	"npf/internal/mem"
+	"npf/internal/nic"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/trace"
+)
+
+// HostSpec is the reusable recipe for one simulated host's substrate:
+// memory machine, NPF driver, and optionally a NIC or HCA. A spec is a
+// value — stamp out a thousand hosts from one spec with Build in a loop,
+// varying only the engine (partition) and name. The construction order
+// (machine, driver, then adapter) matches the historical per-host builders
+// in internal/kv and the root facade, so RNG split order — and therefore
+// every seeded result — is preserved when a builder migrates to a spec.
+type HostSpec struct {
+	// RAM is the host's physical memory (default 8 GiB).
+	RAM int64
+	// Driver configures the NPF driver (default core.DefaultConfig()).
+	Driver core.Config
+	// NIC, when non-nil, attaches an Ethernet NIC with this config.
+	NIC *nic.Config
+	// HCA, when non-nil, attaches an InfiniBand adapter with this config.
+	HCA *rc.Config
+	// NetASBytes maps a transport address space of this size at build time
+	// (0 skips it; regions can be mapped later).
+	NetASBytes int64
+}
+
+// Host is the substrate a HostSpec builds. Higher layers (the sweep's
+// servers, kv's service hosts) hang their state off it.
+type Host struct {
+	Name  string
+	Eng   *sim.Engine
+	M     *mem.Machine
+	Drv   *core.Driver
+	Dev   *nic.Device // nil unless spec.NIC
+	HCA   *rc.HCA     // nil unless spec.HCA
+	NetAS *mem.AddressSpace
+}
+
+// Build instantiates the spec on eng, attaching any adapter to net.
+// tr may be nil (untraced). The same spec value is safe to Build any
+// number of times.
+func (sp HostSpec) Build(eng *sim.Engine, net *fabric.Network, tr *trace.Tracer, name string) *Host {
+	ram := sp.RAM
+	if ram == 0 {
+		ram = 8 << 30
+	}
+	drvCfg := sp.Driver
+	if drvCfg == (core.Config{}) {
+		drvCfg = core.DefaultConfig()
+	}
+	h := &Host{Name: name, Eng: eng}
+	h.M = mem.NewMachine(eng, ram)
+	h.M.SetTracer(tr)
+	h.Drv = core.NewDriver(eng, drvCfg)
+	h.Drv.SetTracer(tr)
+	if sp.NetASBytes > 0 {
+		h.NetAS = h.M.NewAddressSpace(name+"-net", nil)
+		h.NetAS.MapBytes(sp.NetASBytes)
+	}
+	if sp.NIC != nil {
+		h.Dev = nic.NewDevice(eng, net, *sp.NIC)
+		h.Dev.SetTracer(tr)
+		h.Drv.AttachDevice(h.Dev)
+	}
+	if sp.HCA != nil {
+		h.HCA = rc.NewHCA(eng, net, *sp.HCA)
+		h.HCA.SetTracer(tr)
+		h.Drv.AttachHCA(h.HCA)
+	}
+	return h
+}

@@ -1,0 +1,416 @@
+package topo
+
+import (
+	"fmt"
+
+	"npf/internal/fabric"
+	"npf/internal/mem"
+	"npf/internal/rc"
+	"npf/internal/sim"
+	"npf/internal/workload"
+)
+
+// Transport selects the sweep's wire protocol.
+type Transport int
+
+const (
+	// TransportEth sends raw Ethernet frames into per-tenant NIC receive
+	// rings — the paper's Figure 6 receive path, at fleet scale.
+	TransportEth Transport = iota
+	// TransportUD sends InfiniBand unreliable datagrams with per-WQE
+	// address handles: one QP per swarm host reaches every server, so the
+	// fleet needs O(hosts) QPs, not O(hosts^2) connections (§4: the NPF
+	// machinery "applies also to UD").
+	TransportUD
+)
+
+func (t Transport) String() string {
+	if t == TransportUD {
+		return "ud"
+	}
+	return "eth"
+}
+
+// RegPolicy is a tenant's memory-registration strategy — the §2.2 spectrum
+// the sweep compares fleet-wide.
+type RegPolicy int
+
+const (
+	// RegODP relies on NIC page faults: nothing pinned, reclaim allowed,
+	// faulting receives parked in the backup ring (Figure 6).
+	RegODP RegPolicy = iota
+	// RegPinDown uses a bounded pin-down cache over the arena; rings stay
+	// on ODP.
+	RegPinDown
+	// RegPinned pins rings and arena up front: no faults, no reclaim.
+	RegPinned
+)
+
+func (r RegPolicy) String() string {
+	switch r {
+	case RegPinDown:
+		return "pindown"
+	case RegPinned:
+		return "pinned"
+	default:
+		return "odp"
+	}
+}
+
+// TenantSpec is one tenant: a workload shape plus a registration policy and
+// a per-server memory budget.
+type TenantSpec struct {
+	// Workload shapes the tenant's load (clients, ops, key popularity,
+	// open/closed loop, arrival curve). Defaults via workload.Config.
+	Workload workload.Config
+	// Reg selects the registration policy.
+	Reg RegPolicy
+	// Servers bounds how many of the sweep's servers host this tenant
+	// (0 = all). Rings, QPs, and arenas exist only on those servers — the
+	// lazy-allocation half of cheap per-host state.
+	Servers int
+	// ArenaBytes sizes the tenant's value arena per server (default: two
+	// slots per expected key on this server, page-rounded).
+	ArenaBytes int64
+	// GroupLimitBytes caps the tenant's per-server memory group (default:
+	// arena + ring + one page of slack). Reclaim waves squeeze it.
+	GroupLimitBytes int64
+	// PinCacheBytes bounds the pin-down cache (RegPinDown only; default
+	// half the arena).
+	PinCacheBytes int64
+}
+
+// SweepConfig sizes a ClusterSweep.
+type SweepConfig struct {
+	// Servers and SwarmHosts partition the fleet (defaults 16 and 48).
+	Servers    int
+	SwarmHosts int
+	// HostsPerRack sets the topology granularity (default 16).
+	HostsPerRack int
+	// Transport selects Ethernet rings or IB UD datagrams.
+	Transport Transport
+	// RingSize is each server tenant's receive ring depth (default 128).
+	RingSize int
+	// ServerRAM and SwarmRAM size host memory (defaults 512 MiB / 64 MiB).
+	ServerRAM int64
+	SwarmRAM  int64
+	// ValueBytes is the stored value size (default 1024; must fit a UD
+	// datagram alongside the request header).
+	ValueBytes int
+	// ServiceTime is the server CPU cost per op before memory costs
+	// (default 2 µs).
+	ServiceTime sim.Time
+	// MaxAttempts bounds per-op retransmissions after timeouts (default 6);
+	// an op that exhausts them is counted lost, not retried forever.
+	MaxAttempts int
+	// Tenants lists the workloads; nil gets the canonical three-tenant
+	// odp/pindown/pinned comparison.
+	Tenants []TenantSpec
+	// ReclaimWaves > 0 schedules that many fleet-wide memory-pressure
+	// waves, each multiplying every tenant group limit by 3/4 (floored at
+	// ReclaimFloorBytes), one every WaveEvery.
+	ReclaimWaves      int
+	WaveEvery         sim.Time
+	ReclaimFloorBytes int64
+}
+
+const (
+	reqHeaderBytes = 64
+	repHeaderBytes = 64
+	slotAlign      = 256
+)
+
+// withDefaults fills the zero config; it does not validate.
+func (c SweepConfig) withDefaults() SweepConfig {
+	if c.Servers == 0 {
+		c.Servers = 16
+	}
+	if c.SwarmHosts == 0 {
+		c.SwarmHosts = 48
+	}
+	if c.HostsPerRack == 0 {
+		c.HostsPerRack = 16
+	}
+	if c.RingSize == 0 {
+		c.RingSize = 128
+	}
+	if c.ServerRAM == 0 {
+		c.ServerRAM = 512 << 20
+	}
+	if c.SwarmRAM == 0 {
+		c.SwarmRAM = 64 << 20
+	}
+	if c.ValueBytes == 0 {
+		c.ValueBytes = 1024
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 2 * sim.Microsecond
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 6
+	}
+	if c.WaveEvery == 0 {
+		c.WaveEvery = 20 * sim.Millisecond
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []TenantSpec{
+			{Workload: workload.Config{Tenant: "odp"}, Reg: RegODP},
+			{Workload: workload.Config{Tenant: "pindown"}, Reg: RegPinDown},
+			{Workload: workload.Config{Tenant: "pinned"}, Reg: RegPinned},
+		}
+	}
+	for i := range c.Tenants {
+		c.Tenants[i].Workload = c.Tenants[i].Workload.WithDefaults(4096)
+	}
+	return c
+}
+
+// reqMsg is one request on the wire. It is immutable once sent: the server
+// reads it and replies with a fresh repMsg, so no struct is ever written
+// from two partitions.
+type reqMsg struct {
+	id     uint64 // swarm-host-local op id (reissue guard)
+	swarm  int32  // swarm host index, the reply address
+	client int32  // client index on that host
+	tenant int32
+	key    int32
+	get    bool
+}
+
+// repMsg is one reply on the wire (immutable once sent).
+type repMsg struct {
+	id     uint64
+	client int32
+	hit    bool
+}
+
+// tenantState is the fleet-wide view of one tenant.
+type tenantState struct {
+	idx     int32
+	spec    TenantSpec
+	cfg     workload.Config
+	servers []int32 // server indices hosting this tenant
+	// keysPerServer shards the key space: key k lives on
+	// servers[mix64(k) % len], at slot (k / len(servers)) % slots.
+	keysPerServer int
+}
+
+// Sweep is one instantiated ClusterSweep: the fleet, its tenants, and the
+// run's counters. Build with New, arm with Start, drive the engine(s), then
+// read Result.
+type Sweep struct {
+	cfg   SweepConfig
+	eng   *sim.Engine // partition-0 engine
+	net   *fabric.Network
+	group *sim.Group // nil single-engine
+	topo  Topology
+
+	tenants []*tenantState
+	servers []*serverHost
+	swarms  []*SwarmHost
+
+	// serverNode / serverFlow / serverUD are the immutable routing tables
+	// swarm hosts read from any partition: [server] and [server][tenant].
+	serverNode []fabric.NodeID
+	serverFlow [][]fabric.FlowID
+	serverUD   [][]rc.UDRemote
+
+	started bool
+}
+
+// New builds the fleet on net. eng must be the engine hosts on partition 0
+// run on (the group's engine 0 in PDES mode). It returns a configuration
+// error — not a mid-run panic — for inconsistent sizing.
+func New(eng *sim.Engine, net *fabric.Network, cfg SweepConfig) (*Sweep, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sweep{cfg: cfg, eng: eng, net: net, group: net.Group()}
+	if s.group != nil && s.group.Engine(0) != eng {
+		return nil, fmt.Errorf("topo: eng must be the group's partition-0 engine")
+	}
+	total := cfg.Servers + cfg.SwarmHosts
+	s.topo = Topology{Hosts: total, HostsPerRack: cfg.HostsPerRack}
+
+	s.buildTenants()
+	s.buildHosts()
+	s.buildServerTenants()
+	s.buildClients()
+	return s, nil
+}
+
+func (c SweepConfig) validate() error {
+	if c.Servers < 1 || c.SwarmHosts < 1 {
+		return fmt.Errorf("topo: need at least one server and one swarm host (got %d/%d)", c.Servers, c.SwarmHosts)
+	}
+	if c.ValueBytes < 0 || repHeaderBytes+c.ValueBytes > mem.PageSize {
+		return fmt.Errorf("topo: ValueBytes %d does not fit a one-page datagram buffer", c.ValueBytes)
+	}
+	if c.RingSize < 8 {
+		return fmt.Errorf("topo: RingSize %d too small (minimum 8)", c.RingSize)
+	}
+	for i, t := range c.Tenants {
+		if t.Servers < 0 || t.Servers > c.Servers {
+			return fmt.Errorf("topo: tenant %d places on %d servers, fleet has %d", i, t.Servers, c.Servers)
+		}
+		if t.Reg != RegODP && t.Reg != RegPinDown && t.Reg != RegPinned {
+			return fmt.Errorf("topo: tenant %d has unknown registration policy %d", i, t.Reg)
+		}
+		if t.Workload.Clients < 1 {
+			return fmt.Errorf("topo: tenant %d has no clients", i)
+		}
+	}
+	return nil
+}
+
+// engFor returns the engine hosting partition p.
+func (s *Sweep) engFor(p int) *sim.Engine {
+	if s.group == nil {
+		return s.eng
+	}
+	return s.group.Engine(p)
+}
+
+func (s *Sweep) parts() int {
+	if s.group == nil {
+		return 1
+	}
+	return s.group.Parts()
+}
+
+// buildTenants resolves each tenant's server placement: a strided subset so
+// tenants spread across racks, computed before any host exists because
+// construction must not depend on map or arrival order.
+func (s *Sweep) buildTenants() {
+	for i, spec := range s.cfg.Tenants {
+		t := &tenantState{idx: int32(i), spec: spec, cfg: spec.Workload}
+		m := spec.Servers
+		if m == 0 {
+			m = s.cfg.Servers
+		}
+		start := (i * 7) % s.cfg.Servers
+		for j := 0; j < m; j++ {
+			t.servers = append(t.servers, int32((start+j*s.cfg.Servers/m)%s.cfg.Servers))
+		}
+		t.keysPerServer = (t.cfg.Keys + m - 1) / m
+		s.tenants = append(s.tenants, t)
+	}
+}
+
+// buildHosts lays the fleet out across the topology. Server hosts are
+// spread evenly over the host index space (hence over racks and
+// partitions); swarm hosts fill the gaps. Hosts are built in host-index
+// order so fabric attach order — and every split RNG stream — is fixed.
+func (s *Sweep) buildHosts() {
+	total := s.cfg.Servers + s.cfg.SwarmHosts
+	isServer := make([]bool, total)
+	for i := 0; i < s.cfg.Servers; i++ {
+		isServer[i*total/s.cfg.Servers] = true
+	}
+	parts := s.parts()
+	s.serverNode = make([]fabric.NodeID, s.cfg.Servers)
+	s.serverFlow = make([][]fabric.FlowID, s.cfg.Servers)
+	s.serverUD = make([][]rc.UDRemote, s.cfg.Servers)
+	for h := 0; h < total; h++ {
+		eng := s.engFor(s.topo.Partition(h, parts))
+		if isServer[h] {
+			idx := len(s.servers)
+			srv := s.newServerHost(idx, eng)
+			s.servers = append(s.servers, srv)
+			s.serverNode[idx] = srv.node()
+			s.serverFlow[idx] = make([]fabric.FlowID, len(s.tenants))
+			s.serverUD[idx] = make([]rc.UDRemote, len(s.tenants))
+		} else {
+			s.swarms = append(s.swarms, s.newSwarmHost(int32(len(s.swarms)), eng))
+		}
+	}
+}
+
+// buildServerTenants materialises per-(server, tenant) state — ring, QP,
+// arena, group — only where the tenant is placed (lazy allocation: a
+// thousand-host fleet does not pay for rings it never receives on).
+func (s *Sweep) buildServerTenants() {
+	for _, t := range s.tenants {
+		for _, si := range t.servers {
+			st := s.servers[si].addTenant(t)
+			if s.cfg.Transport == TransportEth {
+				s.serverFlow[si][t.idx] = st.ch.Flow
+			} else {
+				s.serverUD[si][t.idx] = st.qp.Remote()
+			}
+		}
+	}
+}
+
+// buildClients deals each tenant's logical clients round-robin over the
+// swarm hosts, splitting one RNG per client in construction order and
+// spreading TargetOps across the tenant's clients.
+func (s *Sweep) buildClients() {
+	for _, t := range s.tenants {
+		per := t.cfg.TargetOps / t.cfg.Clients
+		extra := t.cfg.TargetOps % t.cfg.Clients
+		for i := 0; i < t.cfg.Clients; i++ {
+			sh := s.swarms[i%len(s.swarms)]
+			quota := per
+			if i < extra {
+				quota++
+			}
+			sh.addClient(t, int32(quota))
+		}
+	}
+}
+
+// pickServer routes a key to its tenant shard's server.
+func (s *Sweep) pickServer(t *tenantState, key int32) int32 {
+	return t.servers[int(mix64(uint64(key))%uint64(len(t.servers)))]
+}
+
+// slotOf maps a key to its arena slot on its server: dividing out the
+// server count keeps Zipf-hot keys on the arena's hot head, so the group
+// LRU sees a real working set.
+func (t *tenantState) slotOf(key int32, slots int64) int64 {
+	return (int64(key) / int64(len(t.servers))) % slots
+}
+
+// Start arms the load: closed-loop clients stagger in, open-loop clients
+// draw their first arrival, and reclaim waves are scheduled. Call after
+// New and before running the engines; extra calls are no-ops.
+func (s *Sweep) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, sh := range s.swarms {
+		sh.start()
+	}
+	if s.cfg.ReclaimWaves > 0 {
+		for _, srv := range s.servers {
+			srv.scheduleWaves(s.cfg.ReclaimWaves, s.cfg.WaveEvery, s.cfg.ReclaimFloorBytes)
+		}
+	}
+}
+
+// Run starts the sweep (if not already started) and drives the simulation
+// to quiescence, returning the final virtual time.
+func (s *Sweep) Run() sim.Time {
+	if !s.started {
+		s.Start()
+	}
+	if s.group != nil {
+		return s.group.Run()
+	}
+	return s.eng.Run()
+}
+
+// Hosts reports the fleet size.
+func (s *Sweep) Hosts() int { return len(s.servers) + len(s.swarms) }
+
+// Clients reports the logical client count across all tenants.
+func (s *Sweep) Clients() int {
+	n := 0
+	for _, t := range s.tenants {
+		n += t.cfg.Clients
+	}
+	return n
+}

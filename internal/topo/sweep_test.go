@@ -1,0 +1,214 @@
+package topo
+
+import (
+	"testing"
+	"unsafe"
+
+	"npf/internal/fabric"
+	"npf/internal/sim"
+	"npf/internal/workload"
+)
+
+func smallConfig(tr Transport) SweepConfig {
+	return SweepConfig{
+		Servers:    4,
+		SwarmHosts: 12,
+		Transport:  tr,
+		RingSize:   64,
+		Tenants: []TenantSpec{
+			{Workload: workload.Config{Tenant: "odp", Clients: 40, TargetOps: 400, Keys: 512, Prepopulate: true}, Reg: RegODP},
+			{Workload: workload.Config{Tenant: "pindown", Clients: 40, TargetOps: 400, Keys: 512, Prepopulate: true}, Reg: RegPinDown, Servers: 2},
+			{Workload: workload.Config{Tenant: "pinned", Clients: 40, TargetOps: 400, Keys: 512, Prepopulate: true}, Reg: RegPinned},
+		},
+		ReclaimWaves: 2,
+		WaveEvery:    5 * sim.Millisecond,
+	}
+}
+
+func fabricFor(tr Transport) fabric.Config {
+	if tr == TransportUD {
+		return fabric.DefaultInfiniBand()
+	}
+	return fabric.DefaultEthernet()
+}
+
+// runSweep builds and runs one sweep on a fixed-partition group with the
+// given thread budget (0 = plain single engine, no group).
+func runSweep(t *testing.T, tr Transport, seed int64, threads int) Result {
+	t.Helper()
+	var s *Sweep
+	var err error
+	if threads == 0 {
+		eng := sim.NewEngine(seed)
+		net := fabric.New(eng, fabricFor(tr))
+		s, err = New(eng, net, smallConfig(tr))
+	} else {
+		g := sim.NewGroup(seed, 4, fabricFor(tr).Lookahead())
+		g.SetThreads(threads)
+		net := fabric.NewOnGroup(g, fabricFor(tr))
+		s, err = New(g.Engine(0), net, smallConfig(tr))
+	}
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run()
+	return s.Result()
+}
+
+func TestSweepCompletes(t *testing.T) {
+	for _, tr := range []Transport{TransportEth, TransportUD} {
+		r := runSweep(t, tr, 42, 0)
+		if r.Hosts != 16 || r.Servers != 4 || r.SwarmHosts != 12 {
+			t.Fatalf("[%v] fleet shape: %+v", tr, r)
+		}
+		if r.Clients != 120 {
+			t.Fatalf("[%v] clients = %d, want 120", tr, r.Clients)
+		}
+		if r.Ops != 1200 {
+			t.Fatalf("[%v] ops = %d, want 1200 (timeouts %d lost %d)", tr, r.Ops,
+				r.Tenants[0].Timeouts+r.Tenants[1].Timeouts+r.Tenants[2].Timeouts,
+				r.Tenants[0].Lost+r.Tenants[1].Lost+r.Tenants[2].Lost)
+		}
+		for _, tn := range r.Tenants {
+			if tn.Ops != 400 {
+				t.Fatalf("[%v] tenant %s ops = %d, want 400", tr, tn.Tenant, tn.Ops)
+			}
+			if tn.P99us <= 0 {
+				t.Fatalf("[%v] tenant %s has no latency tail: %+v", tr, tn.Tenant, tn)
+			}
+		}
+		if r.BytesPerHost <= 0 {
+			t.Fatalf("[%v] bytes-per-host not accounted: %+v", tr, r)
+		}
+		// Prepopulated gets against a hot Zipf head should mostly hit.
+		if r.Tenants[2].Hits == 0 {
+			t.Fatalf("[%v] pinned tenant never hit: %+v", tr, r.Tenants[2])
+		}
+	}
+}
+
+// TestSweepPolicySpectrum checks the paper's qualitative ordering under
+// reclaim pressure: the ODP tenant faults (NPFs > 0), the pin-down tenant
+// exercises its cache, and the pinned tenant never sheds.
+func TestSweepPolicySpectrum(t *testing.T) {
+	r := runSweep(t, TransportEth, 7, 0)
+	if r.NPFs == 0 {
+		t.Fatalf("no NPFs despite ODP tenant under reclaim waves: %+v", r)
+	}
+	if r.PinHits+r.PinMisses == 0 {
+		t.Fatalf("pin-down cache never exercised: %+v", r)
+	}
+	if r.Waves == 0 {
+		t.Fatalf("reclaim waves never ran")
+	}
+	for _, tn := range r.Tenants {
+		if tn.Reg == "pinned" && tn.Shed != 0 {
+			t.Fatalf("pinned tenant shed ops: %+v", tn)
+		}
+	}
+}
+
+// TestSweepDeterminism: one seed must produce byte-identical results on a
+// plain engine, a 4-partition group at 1 thread, and at 4 threads — the
+// partition structure is fixed by topology, never by the thread budget
+// (group runs only; the plain engine is a different event ordering and is
+// checked for self-consistency separately).
+func TestSweepDeterminism(t *testing.T) {
+	for _, tr := range []Transport{TransportEth, TransportUD} {
+		base := runSweep(t, tr, 42, 1)
+		for _, threads := range []int{2, 4} {
+			got := runSweep(t, tr, 42, threads)
+			if got.Fingerprint != base.Fingerprint {
+				t.Fatalf("[%v] fingerprint diverged at %d threads: %x vs %x\nbase %+v\ngot  %+v",
+					tr, threads, base.Fingerprint, got.Fingerprint, base, got)
+			}
+		}
+		again := runSweep(t, tr, 42, 1)
+		if again.Fingerprint != base.Fingerprint {
+			t.Fatalf("[%v] same-seed rerun diverged", tr)
+		}
+		other := runSweep(t, tr, 43, 1)
+		if other.Fingerprint == base.Fingerprint {
+			t.Fatalf("[%v] different seeds gave identical fingerprints", tr)
+		}
+	}
+}
+
+func TestSweepOpenLoop(t *testing.T) {
+	cfg := smallConfig(TransportEth)
+	cfg.Tenants[0].Workload.OpenLoop = true
+	cfg.Tenants[0].Workload.ArrivalRate = 50_000
+	cfg.Tenants[0].Workload.Curve = workload.Curve{
+		Diurnal: 0.5, Period: 10 * sim.Millisecond,
+		FlashAt: 2 * sim.Millisecond, FlashFor: sim.Millisecond, FlashMult: 4,
+	}
+	eng := sim.NewEngine(11)
+	net := fabric.New(eng, fabric.DefaultEthernet())
+	s, err := New(eng, net, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	s.Run()
+	r := s.Result()
+	if r.Tenants[0].Ops != 400 {
+		t.Fatalf("open-loop tenant ops = %d, want 400", r.Tenants[0].Ops)
+	}
+	// All pending ops drained.
+	for _, sh := range s.swarms {
+		if len(sh.pending) != 0 {
+			t.Fatalf("pending ops leaked: %d", len(sh.pending))
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := fabric.New(eng, fabric.DefaultEthernet())
+	bad := smallConfig(TransportEth)
+	bad.Tenants[0].Servers = 99
+	if _, err := New(eng, net, bad); err == nil {
+		t.Fatal("oversubscribed tenant placement accepted")
+	}
+	bad = smallConfig(TransportEth)
+	bad.ValueBytes = 1 << 20
+	if _, err := New(eng, net, bad); err == nil {
+		t.Fatal("page-overflowing ValueBytes accepted")
+	}
+}
+
+func TestTopologyPartition(t *testing.T) {
+	tp := Topology{Hosts: 1008, HostsPerRack: 16}
+	if tp.Racks() != 63 {
+		t.Fatalf("racks = %d", tp.Racks())
+	}
+	seen := map[int]int{}
+	prev := 0
+	for h := 0; h < tp.Hosts; h++ {
+		p := tp.Partition(h, 8)
+		if p < 0 || p >= 8 {
+			t.Fatalf("host %d → partition %d", h, p)
+		}
+		if p < prev {
+			t.Fatalf("partition assignment not monotone at host %d", h)
+		}
+		if tp.Rack(h) == tp.Rack(h-1+1) { // same rack ⇒ same partition
+			if h > 0 && tp.Rack(h) == tp.Rack(h-1) && tp.Partition(h-1, 8) != p {
+				t.Fatalf("rack split across partitions at host %d", h)
+			}
+		}
+		prev = p
+		seen[p]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("only %d partitions used", len(seen))
+	}
+}
+
+// TestSwarmClientFootprint pins the per-client cost: one swarm client is a
+// value struct and must stay small enough that 10^6 clients fit in tens of
+// megabytes.
+func TestSwarmClientFootprint(t *testing.T) {
+	if sz := unsafe.Sizeof(swarmClient{}); sz > 128 {
+		t.Fatalf("swarmClient grew to %d bytes; 10^6 clients = %d MB", sz, sz*1_000_000/1_000_000)
+	}
+}

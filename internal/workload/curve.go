@@ -1,0 +1,62 @@
+package workload
+
+import "npf/internal/sim"
+
+// Curve shapes an open-loop arrival rate over virtual time. It is a pure
+// function of the virtual clock — no RNG, no wall time — so two runs of
+// the same seed see byte-identical arrival processes, and the same curve
+// replays identically on any engine/thread layout.
+//
+// Two effects compose multiplicatively:
+//
+//   - a diurnal swing: a triangle wave of relative amplitude Diurnal over
+//     Period (trough at the period boundary, peak mid-period). A triangle
+//     rather than a sinusoid keeps the arithmetic exactly reproducible
+//     across platforms with no libm in the hot path.
+//   - a flash crowd: between FlashAt and FlashAt+FlashFor the rate is
+//     multiplied by FlashMult (the "everyone opens the app at once"
+//     spike).
+//
+// The zero Curve is a constant rate (Mult == 1 everywhere).
+type Curve struct {
+	// Diurnal is the peak-to-trough relative amplitude in [0, 1]; the
+	// multiplier swings across [1-Diurnal/2, 1+Diurnal/2], mean 1.
+	Diurnal float64
+	// Period is one simulated "day". Required for a diurnal swing.
+	Period sim.Time
+	// Phase offsets where in the day the workload starts.
+	Phase sim.Time
+
+	// FlashAt / FlashFor bound the flash-crowd window; FlashMult (> 0)
+	// scales the rate inside it.
+	FlashAt   sim.Time
+	FlashFor  sim.Time
+	FlashMult float64
+}
+
+// Mult returns the rate multiplier at virtual time t. Always > 0 for
+// Diurnal in [0, 1] and FlashMult > 0.
+func (c Curve) Mult(t sim.Time) float64 {
+	m := 1.0
+	if c.Diurnal > 0 && c.Period > 0 {
+		pos := (t + c.Phase) % c.Period
+		if pos < 0 {
+			pos += c.Period
+		}
+		// Triangle in [0, 1]: 0 at the boundaries, 1 mid-period.
+		frac := float64(pos) / float64(c.Period)
+		tri := 1 - abs(2*frac-1)
+		m *= 1 - c.Diurnal/2 + c.Diurnal*tri
+	}
+	if c.FlashMult > 0 && c.FlashFor > 0 && t >= c.FlashAt && t < c.FlashAt+c.FlashFor {
+		m *= c.FlashMult
+	}
+	return m
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -63,7 +63,9 @@ import (
 	"npf/internal/rc"
 	"npf/internal/sim"
 	"npf/internal/tcp"
+	"npf/internal/topo"
 	"npf/internal/trace"
+	"npf/internal/workload"
 )
 
 // Simulation engine.
@@ -279,14 +281,20 @@ type (
 	// clients).
 	KVHost = kv.HostNode
 	// KVWorkload is a load generator with per-op latency accounting;
-	// KVWorkloadConfig shapes it (Zipf skew, open/closed loop, tenant).
-	KVWorkload       = kv.Workload
-	KVWorkloadConfig = kv.WorkloadConfig
+	// WorkloadConfig shapes it (Zipf skew, open/closed loop, tenant).
+	KVWorkload = kv.Workload
 	// KVRegPolicy selects how server memory is registered with the NICs;
 	// KVTransport selects the wire protocol.
 	KVRegPolicy = kv.RegPolicy
 	KVTransport = kv.Transport
 )
+
+// KVWorkloadConfig shapes a KV workload.
+//
+// Deprecated: use WorkloadConfig. The KV service and the scale-out sweep
+// share one workload configuration type (internal/workload.Config); this
+// alias survives for source compatibility and npflint flags it.
+type KVWorkloadConfig = kv.WorkloadConfig
 
 // KV registration policies (the paper's Table 3 spectrum applied to a
 // service) and transports.
@@ -303,6 +311,58 @@ const (
 // fabric; tr may be nil. Most users deploy through NewCluster(WithKV(cfg)).
 func NewKVService(eng *Engine, net *Network, tr *Tracer, cfg KVConfig) *KVService {
 	return kv.New(eng, net, tr, cfg)
+}
+
+// Shared workload shaping (internal/workload) and the scale-out sweep
+// (internal/topo).
+type (
+	// WorkloadConfig sizes one tenant's load generator: clients, target
+	// ops, get ratio, Zipf key skew, open/closed loop, arrival rate and
+	// curve. One type serves both WithKV tenants (Service.NewWorkload) and
+	// WithSwarm sweep tenants.
+	WorkloadConfig = workload.Config
+	// WorkloadCurve shapes an open-loop arrival rate over virtual time:
+	// diurnal swing plus an optional flash crowd.
+	WorkloadCurve = workload.Curve
+
+	// ClusterSweep is a scale-out experiment: O(10^3) hosts and
+	// O(10^5..10^6) logical clients on one deterministic simulation, built
+	// by WithSwarm (or NewSweep for explicitly assembled fabrics).
+	ClusterSweep = topo.Sweep
+	// SweepConfig sizes the fleet: servers, swarm hosts, transport, and
+	// the tenants with their registration policies.
+	SweepConfig = topo.SweepConfig
+	// SweepTenant is one tenant of a sweep: its workload shape, memory
+	// budget, and registration policy.
+	SweepTenant = topo.TenantSpec
+	// SweepResult is the deterministic aggregate (per-tenant tails,
+	// fleet-wide NPF activity, bytes-per-host, fingerprint).
+	SweepResult = topo.Result
+	// SweepTransport selects the sweep's wire protocol; SweepRegPolicy
+	// the per-tenant server memory registration.
+	SweepTransport = topo.Transport
+	SweepRegPolicy = topo.RegPolicy
+	// Topology maps hosts to racks and racks to PDES partitions.
+	Topology = topo.Topology
+)
+
+// Sweep transports and registration policies (the paper's Table 3
+// spectrum applied to a fleet).
+const (
+	SweepTransportEth = topo.TransportEth
+	SweepTransportUD  = topo.TransportUD
+
+	SweepRegODP     = topo.RegODP
+	SweepRegPinDown = topo.RegPinDown
+	SweepRegPinned  = topo.RegPinned
+)
+
+// NewSweep builds a scale-out sweep on an explicitly assembled engine and
+// fabric (most users deploy through NewCluster(WithSwarm(cfg))). On a PDES
+// group's fabric, eng must be partition 0's engine; hosts are placed on
+// partitions rack-by-rack via Topology, independent of the thread budget.
+func NewSweep(eng *Engine, net *Network, cfg SweepConfig) (*ClusterSweep, error) {
+	return topo.New(eng, net, cfg)
 }
 
 // Fault injection (internal/chaos).

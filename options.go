@@ -17,12 +17,14 @@ type clusterConfig struct {
 	sampleEvery Time
 	plan        *ChaosPlan
 	kv          *KVConfig
+	swarm       *SweepConfig
 }
 
 type hostConfig struct {
-	ram    int64
-	driver DriverConfig
-	part   int // -1 = round-robin across partitions
+	ram     int64
+	driver  DriverConfig
+	part    int  // -1 = round-robin across partitions
+	partSet bool // WithPartition was given explicitly (validate it)
 }
 
 type channelConfig struct {
@@ -105,6 +107,25 @@ func WithKV(cfg KVConfig) ClusterOption {
 	return clusterOption(func(c *clusterConfig) { c.kv = &cfg })
 }
 
+// WithSwarm deploys a scale-out sweep on the cluster's fabric: cfg.Servers
+// paper-stack server machines and cfg.SwarmHosts lightweight swarm hosts
+// multiplexing the tenants' logical clients (O(10^5..10^6) on one
+// simulation), with per-tenant memory cgroups and registration policies so
+// pinned / pin-down-cache / ODP show up as fleet-wide tail latency. The
+// sweep is reachable as Cluster.Swarm; Run starts it automatically and
+// Swarm.Result() aggregates afterwards. Workload shaping uses the same
+// WorkloadConfig as WithKV tenants. Pair TransportUD with
+// WithFabric(InfiniBandFabric()).
+//
+// Determinism: for byte-identical results across machine sizes keep
+// WithEngines(n) fixed (it sets the partition layout) and vary only
+// Cluster.Group.SetThreads — or use the bench layer's RunScaleout, which
+// fixes the partition count for you. A misconfigured sweep panics at
+// NewCluster with the configuration error.
+func WithSwarm(cfg SweepConfig) ClusterOption {
+	return clusterOption(func(c *clusterConfig) { c.swarm = &cfg })
+}
+
 // WithRAM sets the host's physical memory in bytes (default 8 GiB).
 func WithRAM(bytes int64) HostOption {
 	return hostOption(func(c *hostConfig) { c.ram = bytes })
@@ -113,10 +134,13 @@ func WithRAM(bytes int64) HostOption {
 // WithPartition pins the host to PDES partition p of a WithEngines(n)
 // cluster (default: round-robin placement). Components the host builds —
 // machine, driver, NIC, HCA — live on that partition's engine; schedule
-// work touching them there (Cluster.EngineFor). Ignored on single-engine
-// clusters.
+// work touching them there (Cluster.EngineFor). p must name a real
+// partition: out-of-range pins are a configuration error reported by
+// TryNewHost (NewHost panics on it) instead of a late index panic once
+// the run first touches the host. On single-engine clusters a
+// non-negative p is ignored as documented.
 func WithPartition(p int) HostOption {
-	return hostOption(func(c *hostConfig) { c.part = p })
+	return hostOption(func(c *hostConfig) { c.part = p; c.partSet = true })
 }
 
 // WithDriverConfig overrides the host's NPF driver configuration (default

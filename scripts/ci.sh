@@ -94,8 +94,11 @@ diff "$tmp1" "$tmp4" || { echo "chaos digests differ between -engines 1 and 4" >
 go run ./cmd/npfbench -quick -engines 1 kv | sed 's/(wall [^)]*)//' > "$tmp1"
 go run ./cmd/npfbench -quick -engines 4 kv | sed 's/(wall [^)]*)//' > "$tmp4"
 diff "$tmp1" "$tmp4" || { echo "kv ablation differs between -engines 1 and 4" >&2; exit 1; }
+go run ./cmd/npfbench -quick -engines 1 scaleout | sed 's/(wall [^)]*)//' > "$tmp1"
+go run ./cmd/npfbench -quick -engines 4 scaleout | sed 's/(wall [^)]*)//' > "$tmp4"
+diff "$tmp1" "$tmp4" || { echo "scale-out sweep differs between -engines 1 and 4" >&2; exit 1; }
 rm -f "$tmp1" "$tmp4"
-echo "engines matrix ok (chaos + kv, -engines 1 vs 4)"
+echo "engines matrix ok (chaos + kv + scaleout, -engines 1 vs 4)"
 
 # npflint: the determinism contracts (no wall clock in sim layers, no
 # order-dependent map walks, sim.Time-only signatures, nil-safe tracer
@@ -155,6 +158,17 @@ EOF
 # ignores baseline-only sections, so CI skips re-measuring it).
 echo "== npfstat regression gate =="
 go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr7.json "$tmpjson"
+
+# Scale-out fleet gate: re-run the full 1,008-host / 101,000-client cluster
+# sweep (both transports, the fixed 8-partition group, ~10 s at -engines 8)
+# and hard-gate it against the committed BENCH_pr8.json: fleet shape,
+# completed ops, and the run fingerprint must match exactly — the sweep is
+# byte-identical for every -engines and -parallel value — and bytes-per-host
+# must hold within -count-tol. Regenerate the baseline with
+#   go run ./cmd/npfbench -engines 8 -parallel 0 -json BENCH_pr8.json scaleout
+echo "== scale-out fleet gate =="
+go run ./cmd/npfbench -engines 8 -parallel 0 -json "$tmpjson" scaleout > /dev/null
+go run ./cmd/npfstat -baseline BENCH_pr8.json "$tmpjson"
 
 # npfstat render smoke: the series CSV written above must parse and render.
 echo "== npfstat render smoke =="
