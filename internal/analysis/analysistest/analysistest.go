@@ -60,13 +60,26 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
 	if err := ld.check(); err != nil {
 		t.Fatal(err)
 	}
+	// Run the analyzer over every fixture package in dependency order with
+	// one shared fact store, so facts a dependency exports reach the
+	// packages under test exactly as they do in a real driver run. Want
+	// expectations are only checked for the requested paths; diagnostics
+	// in support packages are discarded.
+	requested := make(map[string]bool, len(paths))
 	for _, path := range paths {
-		pkg := ld.pkgs[path]
-		diags, err := driver.RunPackage(pkg, []*analysis.Analyzer{a}, "")
+		requested[path] = true
+	}
+	driver.RegisterFactTypes([]*analysis.Analyzer{a})
+	facts := driver.NewFacts()
+	for _, p := range ld.order {
+		pkg := ld.pkgs[p.path]
+		diags, err := driver.RunPackage(pkg, []*analysis.Analyzer{a}, "", facts)
 		if err != nil {
-			t.Fatalf("fixture %s: %v", path, err)
+			t.Fatalf("fixture %s: %v", p.path, err)
 		}
-		diffWants(t, ld.fset, pkg, diags)
+		if requested[p.path] {
+			diffWants(t, ld.fset, pkg, diags)
+		}
 	}
 }
 

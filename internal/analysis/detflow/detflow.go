@@ -1,0 +1,149 @@
+// Package detflow defines the interprocedural companion to detwall: it
+// computes, bottom-up over the package graph, which functions *reach* a
+// nondeterminism source (wall clock, global rand, environment, goroutine
+// introspection) through any chain of calls, and flags cross-package calls
+// to such carriers from sim-layer code.
+//
+// detwall catches `time.Now()` written directly in a guarded package;
+// detflow closes the remaining gap: a helper in another package (including
+// cmd/ tooling, where detwall does not report) that wraps the clock, called
+// from sim code through any number of hops. Facts are pure reachability —
+// an //npf:wallclock annotation suppresses the diagnostic at the annotated
+// call site but never launders the fact, so every new caller of a
+// clock-reaching helper makes its own reviewed decision.
+//
+// Intra-package chains are deliberately not re-reported: the direct call
+// site is detwall's diagnostic, and doubling it up at every local caller
+// would say nothing new. The cross-package edge is where the information
+// is lost today, and that is where detflow reports.
+package detflow
+
+import (
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"npf/internal/analysis/detwall"
+	"npf/internal/analysis/directive"
+	"npf/internal/analysis/summary"
+)
+
+const Doc = `flag sim-layer calls into functions that transitively reach nondeterminism
+
+A function that calls time.Now, the global rand source, os.Getenv, or
+goroutine introspection through ANY chain of helpers — across packages,
+including cmd/ — carries that reach as a fact. Calling such a carrier from
+a guarded package is flagged with the full chain. Annotate reviewed call
+sites with //npf:wallclock; the fact survives the annotation, so each new
+caller is reviewed on its own.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "detflow",
+	Doc:       Doc,
+	FactTypes: []analysis.Fact{(*Reaches)(nil)},
+	Run:       run,
+}
+
+// Reaches marks a function that transitively reaches a nondeterminism
+// source; Chain is the human-readable call path ("helper → time.Now").
+type Reaches struct {
+	Chain string
+}
+
+// AFact marks Reaches as a serializable analysis fact.
+func (*Reaches) AFact() {}
+
+// extraSources extends detwall's banned table with goroutine/process
+// introspection that detwall leaves legal (it is harmless in logging) but
+// that must not flow into sim state.
+var extraSources = map[string]map[string]bool{
+	"runtime": {
+		"NumGoroutine": true, "Stack": true, "Caller": true,
+		"Callers": true, "ReadMemStats": true,
+	},
+	"os": {
+		"Getpid": true, "Hostname": true,
+	},
+}
+
+func isSource(fn *types.Func) bool {
+	if detwall.IsSource(fn) {
+		return true
+	}
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	names, ok := extraSources[fn.Pkg().Path()]
+	return ok && names[fn.Name()]
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	g := summary.Build(pass.TypesInfo, pass.Files, true)
+
+	external := func(e summary.Edge) string {
+		if e.Fn == nil {
+			return "" // dynamic calls are out of scope (documented gap)
+		}
+		if isSource(e.Fn) {
+			return e.Fn.Pkg().Path() + "." + e.Fn.Name()
+		}
+		var r Reaches
+		if pass.ImportObjectFact(e.Fn, &r) {
+			return summary.Chain(crossLabel(e.Fn), r.Chain)
+		}
+		return ""
+	}
+	reasons := g.Fixpoint(func(int) string { return "" }, external, nil)
+
+	// Facts are exported for every package — including cmd/, which is
+	// exactly where clock-wrapping helpers live — so carriers are visible
+	// wherever they end up being called from.
+	for i, d := range g.Decls {
+		if reasons[i] != "" {
+			pass.ExportObjectFact(d.Fn, &Reaches{Chain: reasons[i]})
+		}
+	}
+
+	if detwall.AllowlistedPackage(pass.Pkg.Path()) {
+		return nil, nil // cmd/ binaries may report wall time to humans
+	}
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	for i := range g.Decls {
+		for _, e := range g.Edges[i] {
+			if e.Fn == nil || e.Fn.Pkg() == nil || e.Fn.Pkg() == pass.Pkg {
+				continue // intra-package chains bottom out at detwall's diagnostic
+			}
+			if isSource(e.Fn) {
+				continue // the direct call is detwall's (or out of its scope by choice)
+			}
+			var r Reaches
+			if !pass.ImportObjectFact(e.Fn, &r) {
+				continue
+			}
+			file := pass.Fset.Position(e.Pos).Filename
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			if dirs.Allows(pass.Fset, "wallclock", e.Pos) {
+				continue
+			}
+			pass.Reportf(e.Pos, "call to %s reaches nondeterminism (%s): sim layers must use virtual time / engine-owned RNG (annotate //npf:wallclock if intentional)",
+				crossLabel(e.Fn), r.Chain)
+		}
+	}
+	return nil, nil
+}
+
+// crossLabel names an out-of-package function for diagnostics:
+// "pkg.F" or "pkg.T.M" with the short package name.
+func crossLabel(fn *types.Func) string {
+	label := summary.FuncLabel(fn)
+	if fn.Pkg() != nil {
+		label = fn.Pkg().Name() + "." + label
+	}
+	return label
+}

@@ -1,0 +1,17 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/detflow"
+)
+
+// TestDetflow exercises the cross-package reach analysis: facts flow from
+// the hostutil and cmd/tool fixture packages (where detflow stays silent)
+// into package a, where every unannotated cross-package call to a carrier
+// is flagged with its chain. Requesting hostutil asserts the
+// no-intra-package-reports policy.
+func TestDetflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detflow.Analyzer, "a", "hostutil")
+}

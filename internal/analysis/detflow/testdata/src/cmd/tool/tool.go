@@ -1,0 +1,10 @@
+// Package tool is a fixture cmd/ package: detwall does not report inside
+// cmd/ at all, so a clock-wrapping helper here is invisible to the
+// per-package analyzer — exactly the gap detflow closes by exporting the
+// Reaches fact anyway and flagging the sim-side caller.
+package tool
+
+import "time"
+
+// Helper wraps the clock inside an allowlisted package.
+func Helper() int64 { return time.Now().UnixNano() }

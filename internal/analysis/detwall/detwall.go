@@ -62,8 +62,29 @@ var allowedInPkg = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
+// IsSource reports whether fn is one of the banned nondeterminism entry
+// points: a package-level wall-clock read, global-rand draw, or
+// environment access. detflow reuses this table as its transitive-taint
+// seed.
+func IsSource(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false // methods are fine; only package-level sources are banned
+	}
+	names, isBanned := banned[fn.Pkg().Path()]
+	if !isBanned {
+		return false
+	}
+	if names == nil {
+		return !allowedInPkg[fn.Name()]
+	}
+	return names[fn.Name()]
+}
+
 func run(pass *analysis.Pass) (interface{}, error) {
-	if allowlistedPackage(pass.Pkg.Path()) {
+	if AllowlistedPackage(pass.Pkg.Path()) {
 		return nil, nil
 	}
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
@@ -72,21 +93,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		id := n.(*ast.Ident)
 		obj := pass.TypesInfo.Uses[id]
 		fn, ok := obj.(*types.Func)
-		if !ok || fn.Pkg() == nil {
-			return
-		}
-		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-			return // methods are fine; only package-level sources are banned
-		}
-		names, banned := banned[fn.Pkg().Path()]
-		if !banned {
-			return
-		}
-		if names == nil {
-			if allowedInPkg[fn.Name()] {
-				return
-			}
-		} else if !names[fn.Name()] {
+		if !ok || !IsSource(fn) {
 			return
 		}
 		file := pass.Fset.Position(id.Pos()).Filename
@@ -102,9 +109,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// allowlistedPackage reports whether the package is a cmd/ binary, where
-// wall-clock reporting to humans is expected.
-func allowlistedPackage(path string) bool {
+// AllowlistedPackage reports whether the package is a cmd/ binary, where
+// wall-clock reporting to humans is expected. detflow applies the same
+// reporting exemption.
+func AllowlistedPackage(path string) bool {
 	for _, seg := range strings.Split(path, "/") {
 		if seg == "cmd" {
 			return true

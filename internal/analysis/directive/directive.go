@@ -6,12 +6,22 @@
 //
 //	//npf:orderinvariant  maporder: this map iteration's effects are
 //	                      independent of iteration order
-//	//npf:wallclock       detwall: this wall-clock / environment read is
+//	//npf:wallclock       detwall/detflow: this wall-clock / environment
+//	                      read (or call into a clock-reaching helper) is
 //	                      intentional (host-side tooling, not sim state)
 //	//npf:realtime        simtime: this signature intentionally carries a
 //	                      wall-clock type (e.g. the sim.Duration converter)
 //	//npf:tracesafe       tracesafe: this raw tracer field access is known
 //	                      nil-safe
+//	//npf:noalloc         noalloc: this function (and everything it
+//	                      transitively calls) must contain no allocating
+//	                      construct — the static allocation fence
+//	//npf:allocok         noalloc: reviewed escape; on a line, exempts the
+//	                      line's constructs; on a function declaration,
+//	                      makes the whole function a trusted boundary
+//	//npf:probepure       probepure: this sampler-probe registration is
+//	                      reviewed read-only even though the analyzer
+//	                      cannot prove it
 //
 // A directive applies to the source line it sits on and to the line
 // immediately below it, so both trailing and preceding placement work:

@@ -35,6 +35,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// DepOnly marks an in-module dependency that was loaded (and
+	// analyzed, so its facts exist) without being named by the patterns;
+	// its diagnostics are suppressed.
+	DepOnly bool
 }
 
 // Diagnostic is one analyzer finding, with its position resolved.
@@ -42,6 +46,12 @@ type Diagnostic struct {
 	Analyzer string `json:"analyzer"`
 	Pos      string `json:"pos"` // file:line:col, file relative to the working directory when possible
 	Message  string `json:"message"`
+
+	// Numeric sort keys (file, line, col), kept alongside the formatted
+	// Pos so the -json stream sorts numerically ("x.go:9" before
+	// "x.go:10") and stays byte-reproducible.
+	file      string
+	line, col int
 }
 
 // listedPackage is the subset of `go list -json` output the driver needs.
@@ -59,9 +69,14 @@ type listedPackage struct {
 
 // Load runs `go list -deps -export -json patterns...` in dir (the module
 // root, or "" for the current directory) and returns the matched packages
-// — parsed and type-checked from source, with imports satisfied from
-// export data. Test files are not loaded; the analyzers treat _test.go as
-// allowlisted anyway.
+// plus their in-module dependencies (marked DepOnly) — parsed and
+// type-checked from source, with remaining imports satisfied from export
+// data. Packages come back in `go list -deps` order, i.e. dependencies
+// before dependents, which is what lets analyzer facts flow bottom-up
+// through the graph. Test files are not loaded; the analyzers treat
+// _test.go as allowlisted anyway. Vendored and standard-library deps stay
+// on the export-data path: no facts are computed for them, which the
+// fact-based analyzers handle with explicit allowlists.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -75,18 +90,23 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	fset := token.NewFileSet()
 	imp := NewExportImporter(fset, exports)
+	vendorDir := string(filepath.Separator) + "vendor" + string(filepath.Separator)
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.DepOnly && strings.Contains(lp.Dir, vendorDir) {
 			continue
 		}
 		pkg, err := checkFromSource(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = lp.DepOnly
+		imp.Register(pkg.Types)
 		pkgs = append(pkgs, pkg)
 	}
-	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
 	return pkgs, nil
 }
 
@@ -217,34 +237,64 @@ func (ei *exportImporter) Import(path string) (*types.Package, error) {
 }
 
 // Run executes the analyzers (and, first, their transitive requirements)
-// over each package and returns all diagnostics sorted by position. relDir
-// is the directory diagnostics' file names are made relative to ("" keeps
-// them absolute).
+// over each package — in the dependency order Load produced, so facts a
+// package exports are serialized before any dependent imports them — and
+// returns the diagnostics of the non-DepOnly packages in a stable
+// numeric (file, line, col, analyzer) sort. relDir is the directory
+// diagnostics' file names are made relative to ("" keeps them absolute).
 func Run(pkgs []*Package, analyzers []*analysis.Analyzer, relDir string) ([]Diagnostic, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
 	}
+	RegisterFactTypes(analyzers)
+	facts := NewFacts()
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ds, err := RunPackage(pkg, analyzers, relDir)
+		ds, err := RunPackage(pkg, analyzers, relDir, facts)
 		if err != nil {
 			return nil, err
 		}
-		diags = append(diags, ds...)
-	}
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos != diags[j].Pos {
-			return diags[i].Pos < diags[j].Pos
+		if !pkg.DepOnly {
+			diags = append(diags, ds...)
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
+	}
+	SortDiagnostics(diags)
 	return diags, nil
+}
+
+// SortDiagnostics orders diags by (file, line, column, analyzer, message)
+// with numeric line/column comparison, the byte-reproducible order the
+// -json stream and CI diffs rely on.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 }
 
 // RunPackage executes the analyzers over one package, running required
 // analyzers (e.g. the inspector) first and threading their results
-// through ResultOf.
-func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, relDir string) ([]Diagnostic, error) {
+// through ResultOf. facts carries analyzer facts between packages of one
+// driver run; nil gives the package an isolated store (cross-package
+// facts simply absent), which only makes sense for fact-free analyzers.
+func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, relDir string, facts *Facts) ([]Diagnostic, error) {
+	if facts == nil {
+		RegisterFactTypes(analyzers)
+		facts = NewFacts()
+	}
+	facts.begin(pkg.Types)
 	results := make(map[*analysis.Analyzer]interface{})
 	var diags []Diagnostic
 	var run func(a *analysis.Analyzer, report bool) error
@@ -275,13 +325,32 @@ func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, relDir string) ([]
 				if !report {
 					return
 				}
+				p := pkg.Fset.Position(d.Pos)
+				file := relPath(p.Filename, relDir)
 				diags = append(diags, Diagnostic{
 					Analyzer: a.Name,
-					Pos:      formatPos(pkg.Fset, d.Pos, relDir),
+					Pos:      fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column),
 					Message:  d.Message,
+					file:     file,
+					line:     p.Line,
+					col:      p.Column,
 				})
 			},
 			ReadFile: os.ReadFile,
+			ImportObjectFact: func(obj types.Object, f analysis.Fact) bool {
+				return facts.importObjectFact(a, obj, f)
+			},
+			ExportObjectFact: func(obj types.Object, f analysis.Fact) {
+				facts.exportObjectFact(a, obj, f)
+			},
+			ImportPackageFact: func(p *types.Package, f analysis.Fact) bool {
+				return facts.importPackageFact(a, p, f)
+			},
+			ExportPackageFact: func(f analysis.Fact) {
+				facts.exportPackageFact(a, f)
+			},
+			AllObjectFacts:  func() []analysis.ObjectFact { return facts.allObjectFacts(a) },
+			AllPackageFacts: func() []analysis.PackageFact { return facts.allPackageFacts(a) },
 		}
 		res, err := a.Run(pass)
 		if err != nil {
@@ -296,16 +365,17 @@ func RunPackage(pkg *Package, analyzers []*analysis.Analyzer, relDir string) ([]
 			return nil, err
 		}
 	}
+	if err := facts.finish(analyzers); err != nil {
+		return nil, err
+	}
 	return diags, nil
 }
 
-func formatPos(fset *token.FileSet, pos token.Pos, relDir string) string {
-	p := fset.Position(pos)
-	file := p.Filename
+func relPath(file, relDir string) string {
 	if relDir != "" {
 		if rel, err := filepath.Rel(relDir, file); err == nil && !strings.HasPrefix(rel, "..") {
-			file = rel
+			return rel
 		}
 	}
-	return fmt.Sprintf("%s:%d:%d", file, p.Line, p.Column)
+	return file
 }

@@ -1,0 +1,393 @@
+// Facts: the driver's cross-package fact store. Analyzers export facts
+// about objects and packages while a package is analyzed; when the driver
+// finishes a package it gob-serializes that package's facts and discards
+// the in-memory form, so every cross-package import decodes from bytes —
+// the same round-trip the real go vet facts pipeline performs through
+// compiler export data. Loading packages in `go list -deps` order (deps
+// before dependents) makes the bottom-up propagation sound.
+
+package driver
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"sync"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Facts is one driver run's fact store. It is not safe for concurrent use;
+// the driver analyzes packages sequentially in dependency order.
+type Facts struct {
+	// encoded holds the serialized facts of every finished package,
+	// keyed by (package path, analyzer name).
+	encoded map[factsKey][]byte
+	// decoded caches lazily-decoded fact sets for imported packages.
+	decoded map[factsKey]*factSet
+	// cur accumulates the in-flight package's facts per analyzer.
+	cur    map[string]*factSet
+	curPkg *types.Package
+}
+
+type factsKey struct {
+	pkg      string
+	analyzer string
+}
+
+type factSet struct {
+	obj map[types.Object]map[reflect.Type]analysis.Fact
+	pkg map[reflect.Type]analysis.Fact
+}
+
+func newFactSet() *factSet {
+	return &factSet{
+		obj: make(map[types.Object]map[reflect.Type]analysis.Fact),
+		pkg: make(map[reflect.Type]analysis.Fact),
+	}
+}
+
+// NewFacts returns an empty fact store for one driver run.
+func NewFacts() *Facts {
+	return &Facts{
+		encoded: make(map[factsKey][]byte),
+		decoded: make(map[factsKey]*factSet),
+	}
+}
+
+// factRecord is the serialized form of one fact. Object is "" for a
+// package fact, "Name" for a package-level object, and "Recv.Name" for a
+// method (pointer receivers dereferenced).
+type factRecord struct {
+	Object string
+	Fact   analysis.Fact
+}
+
+// gob registration is process-global and panics on duplicates, so guard it.
+var (
+	gobMu         sync.Mutex
+	gobRegistered = make(map[reflect.Type]bool)
+)
+
+// RegisterFactTypes registers every fact type reachable from the analyzers
+// (including their transitive requirements) with gob.
+func RegisterFactTypes(analyzers []*analysis.Analyzer) {
+	gobMu.Lock()
+	defer gobMu.Unlock()
+	seen := make(map[*analysis.Analyzer]bool)
+	var reg func(a *analysis.Analyzer)
+	reg = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, f := range a.FactTypes {
+			t := reflect.TypeOf(f)
+			if !gobRegistered[t] {
+				gob.Register(f)
+				gobRegistered[t] = true
+			}
+		}
+		for _, req := range a.Requires {
+			reg(req)
+		}
+	}
+	for _, a := range analyzers {
+		reg(a)
+	}
+}
+
+// begin starts accumulating facts for pkg.
+func (fs *Facts) begin(pkg *types.Package) {
+	fs.curPkg = pkg
+	fs.cur = make(map[string]*factSet)
+}
+
+// finish serializes the current package's facts (one blob per analyzer)
+// and drops the in-memory form: later packages see these facts only
+// through the decoder, so serialization is exercised on every edge.
+func (fs *Facts) finish(analyzers []*analysis.Analyzer) error {
+	if fs.curPkg == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var names []string
+	var collect func(a *analysis.Analyzer)
+	collect = func(a *analysis.Analyzer) {
+		if seen[a.Name] {
+			return
+		}
+		seen[a.Name] = true
+		names = append(names, a.Name)
+		for _, req := range a.Requires {
+			collect(req)
+		}
+	}
+	for _, a := range analyzers {
+		collect(a)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		set := fs.cur[name]
+		if set == nil || (len(set.obj) == 0 && len(set.pkg) == 0) {
+			continue
+		}
+		data, err := encodeFactSet(set)
+		if err != nil {
+			return fmt.Errorf("encoding %s facts for %s: %v", name, fs.curPkg.Path(), err)
+		}
+		fs.encoded[factsKey{fs.curPkg.Path(), name}] = data
+	}
+	fs.cur = nil
+	fs.curPkg = nil
+	return nil
+}
+
+func encodeFactSet(set *factSet) ([]byte, error) {
+	var records []factRecord
+	//npf:orderinvariant — records are sorted by (object key, fact type) below
+	for obj, byType := range set.obj {
+		key, ok := objectKey(obj)
+		if !ok {
+			continue // non-addressable from outside the package
+		}
+		for _, f := range byType {
+			records = append(records, factRecord{Object: key, Fact: f})
+		}
+	}
+	for _, f := range set.pkg {
+		records = append(records, factRecord{Object: "", Fact: f})
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Object != records[j].Object {
+			return records[i].Object < records[j].Object
+		}
+		return reflect.TypeOf(records[i].Fact).String() < reflect.TypeOf(records[j].Fact).String()
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFactSet(data []byte, pkg *types.Package) (*factSet, error) {
+	var records []factRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&records); err != nil {
+		return nil, err
+	}
+	set := newFactSet()
+	for _, rec := range records {
+		if rec.Object == "" {
+			set.pkg[reflect.TypeOf(rec.Fact)] = rec.Fact
+			continue
+		}
+		obj := resolveObjectKey(pkg, rec.Object)
+		if obj == nil {
+			continue // declaration removed or renamed; drop the fact
+		}
+		byType := set.obj[obj]
+		if byType == nil {
+			byType = make(map[reflect.Type]analysis.Fact)
+			set.obj[obj] = byType
+		}
+		byType[reflect.TypeOf(rec.Fact)] = rec.Fact
+	}
+	return set, nil
+}
+
+// objectKey names obj relative to its package: "Name" for package-level
+// objects, "Recv.Name" for methods. Objects that are not reachable by name
+// from importing packages (locals, unexported receivers are still fine —
+// facts are keyed, not access-controlled) return ok=false when they cannot
+// be expressed in this scheme.
+func objectKey(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := recvNamed(fn); recv != nil {
+			return recv.Obj().Name() + "." + fn.Name(), true
+		}
+	}
+	// Package-scope objects only; locals are not addressable across
+	// packages.
+	if obj.Pkg().Scope().Lookup(obj.Name()) != obj {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// resolveObjectKey is objectKey's inverse against pkg's scope.
+func resolveObjectKey(pkg *types.Package, key string) types.Object {
+	for i := 0; i < len(key); i++ {
+		if key[i] != '.' {
+			continue
+		}
+		tname, ok := pkg.Scope().Lookup(key[:i]).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		named, ok := tname.Type().(*types.Named)
+		if !ok {
+			return nil
+		}
+		method := key[i+1:]
+		for m := 0; m < named.NumMethods(); m++ {
+			if named.Method(m).Name() == method {
+				return named.Method(m)
+			}
+		}
+		return nil
+	}
+	return pkg.Scope().Lookup(key)
+}
+
+// recvNamed returns the named receiver type of a method, dereferencing a
+// pointer receiver, or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// setFor returns the fact set holding pkg's facts for analyzer name: the
+// live set for the package under analysis, a decoded snapshot otherwise.
+func (fs *Facts) setFor(pkg *types.Package, name string) *factSet {
+	if pkg == fs.curPkg {
+		return fs.cur[name]
+	}
+	key := factsKey{pkg.Path(), name}
+	if set, ok := fs.decoded[key]; ok {
+		return set
+	}
+	data, ok := fs.encoded[key]
+	if !ok {
+		fs.decoded[key] = nil
+		return nil
+	}
+	set, err := decodeFactSet(data, pkg)
+	if err != nil {
+		// A decode failure means a fact type changed shape mid-run;
+		// treat as absent rather than aborting the whole sweep.
+		set = nil
+	}
+	fs.decoded[key] = set
+	return set
+}
+
+func (fs *Facts) importObjectFact(a *analysis.Analyzer, obj types.Object, ptr analysis.Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	set := fs.setFor(obj.Pkg(), a.Name)
+	if set == nil {
+		return false
+	}
+	f := set.obj[obj][reflect.TypeOf(ptr)]
+	if f == nil {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+func (fs *Facts) exportObjectFact(a *analysis.Analyzer, obj types.Object, f analysis.Fact) {
+	if obj == nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact(nil, %T)", a.Name, f))
+	}
+	if fs.curPkg == nil || obj.Pkg() != fs.curPkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact on %v, which is not from the package under analysis", a.Name, obj))
+	}
+	set := fs.cur[a.Name]
+	if set == nil {
+		set = newFactSet()
+		fs.cur[a.Name] = set
+	}
+	byType := set.obj[obj]
+	if byType == nil {
+		byType = make(map[reflect.Type]analysis.Fact)
+		set.obj[obj] = byType
+	}
+	byType[reflect.TypeOf(f)] = f
+}
+
+func (fs *Facts) importPackageFact(a *analysis.Analyzer, pkg *types.Package, ptr analysis.Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	set := fs.setFor(pkg, a.Name)
+	if set == nil {
+		return false
+	}
+	f := set.pkg[reflect.TypeOf(ptr)]
+	if f == nil {
+		return false
+	}
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+	return true
+}
+
+func (fs *Facts) exportPackageFact(a *analysis.Analyzer, f analysis.Fact) {
+	if fs.curPkg == nil {
+		panic(fmt.Sprintf("%s: ExportPackageFact outside a package run", a.Name))
+	}
+	set := fs.cur[a.Name]
+	if set == nil {
+		set = newFactSet()
+		fs.cur[a.Name] = set
+	}
+	set.pkg[reflect.TypeOf(f)] = f
+}
+
+// allObjectFacts returns the current package's object facts for analyzer a
+// in a deterministic (object-key, fact-type) order.
+func (fs *Facts) allObjectFacts(a *analysis.Analyzer) []analysis.ObjectFact {
+	set := fs.cur[a.Name]
+	if set == nil {
+		return nil
+	}
+	var out []analysis.ObjectFact
+	//npf:orderinvariant — facts are sorted by (object key, fact type) below
+	for obj, byType := range set.obj {
+		for _, f := range byType {
+			out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, _ := objectKey(out[i].Object)
+		kj, _ := objectKey(out[j].Object)
+		if ki != kj {
+			return ki < kj
+		}
+		return reflect.TypeOf(out[i].Fact).String() < reflect.TypeOf(out[j].Fact).String()
+	})
+	return out
+}
+
+// allPackageFacts returns the current package's package facts for analyzer
+// a in deterministic fact-type order.
+func (fs *Facts) allPackageFacts(a *analysis.Analyzer) []analysis.PackageFact {
+	set := fs.cur[a.Name]
+	if set == nil || fs.curPkg == nil {
+		return nil
+	}
+	var out []analysis.PackageFact
+	for _, f := range set.pkg {
+		out = append(out, analysis.PackageFact{Package: fs.curPkg, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return reflect.TypeOf(out[i].Fact).String() < reflect.TypeOf(out[j].Fact).String()
+	})
+	return out
+}

@@ -1,0 +1,151 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/gob"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// testFact is a throwaway fact type for serialization tests.
+type testFact struct{ Msg string }
+
+func (*testFact) AFact() {}
+
+func init() { gob.Register(&testFact{}) }
+
+const factSrc = `package p
+
+type T struct{ n int }
+
+func (t *T) M() int { return t.n }
+
+func F() {}
+
+var V int
+`
+
+func checkSnippet(t *testing.T) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", factSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func methodM(t *testing.T, pkg *types.Package) types.Object {
+	t.Helper()
+	named := pkg.Scope().Lookup("T").(*types.TypeName).Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "M" {
+			return named.Method(i)
+		}
+	}
+	t.Fatal("method M not found")
+	return nil
+}
+
+// TestObjectKey checks the "Name"/"Recv.Name" scheme and its inverse.
+func TestObjectKey(t *testing.T) {
+	pkg := checkSnippet(t)
+	mObj := methodM(t, pkg)
+	cases := []struct {
+		obj types.Object
+		key string
+	}{
+		{pkg.Scope().Lookup("F"), "F"},
+		{pkg.Scope().Lookup("V"), "V"},
+		{mObj, "T.M"},
+	}
+	for _, c := range cases {
+		key, ok := objectKey(c.obj)
+		if !ok || key != c.key {
+			t.Errorf("objectKey(%v) = %q, %v; want %q, true", c.obj, key, ok, c.key)
+		}
+		if got := resolveObjectKey(pkg, key); got != c.obj {
+			t.Errorf("resolveObjectKey(%q) = %v; want %v", key, got, c.obj)
+		}
+	}
+
+	// The receiver variable is function-local: not addressable across
+	// packages, so it has no key.
+	recv := mObj.Type().(*types.Signature).Recv()
+	if key, ok := objectKey(recv); ok {
+		t.Errorf("objectKey(receiver) = %q, true; want ok=false", key)
+	}
+	if got := resolveObjectKey(pkg, "T.Missing"); got != nil {
+		t.Errorf("resolveObjectKey(T.Missing) = %v; want nil", got)
+	}
+}
+
+// TestFactSetRoundTrip encodes a fact set and decodes it against the same
+// package, checking fact payloads survive and the encoding is
+// byte-deterministic.
+func TestFactSetRoundTrip(t *testing.T) {
+	pkg := checkSnippet(t)
+	fObj := pkg.Scope().Lookup("F")
+	mObj := methodM(t, pkg)
+	ft := reflect.TypeOf(&testFact{})
+
+	set := newFactSet()
+	set.obj[fObj] = map[reflect.Type]analysis.Fact{ft: &testFact{Msg: "on F"}}
+	set.obj[mObj] = map[reflect.Type]analysis.Fact{ft: &testFact{Msg: "on T.M"}}
+	set.pkg[ft] = &testFact{Msg: "pkg"}
+
+	data, err := encodeFactSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := encodeFactSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("encodeFactSet is not deterministic")
+	}
+
+	got, err := decodeFactSet(data, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, msg := range map[types.Object]string{fObj: "on F", mObj: "on T.M"} {
+		f, _ := got.obj[obj][ft].(*testFact)
+		if f == nil || f.Msg != msg {
+			t.Errorf("decoded fact for %v = %+v; want Msg %q", obj, f, msg)
+		}
+	}
+	if f, _ := got.pkg[ft].(*testFact); f == nil || f.Msg != "pkg" {
+		t.Errorf("decoded package fact = %+v; want Msg \"pkg\"", got.pkg[ft])
+	}
+}
+
+// TestDecodeDropsUnresolvable: a fact keyed by a declaration that no longer
+// exists is dropped silently, not an error.
+func TestDecodeDropsUnresolvable(t *testing.T) {
+	pkg := checkSnippet(t)
+	var buf bytes.Buffer
+	records := []factRecord{{Object: "Missing", Fact: &testFact{Msg: "gone"}}}
+	if err := gob.NewEncoder(&buf).Encode(records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeFactSet(buf.Bytes(), pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.obj) != 0 {
+		t.Errorf("decoded %d object facts; want 0 (unresolvable key dropped)", len(got.obj))
+	}
+}

@@ -1,0 +1,48 @@
+package driver_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/summary"
+)
+
+// mark is the fact the round-trip analyzer attaches to every declaration.
+type mark struct{ Seen string }
+
+func (*mark) AFact() {}
+
+// factrt exports a mark for every function in a package and, at each
+// cross-package call site, reports the imported fact. Because the driver
+// serializes a package's facts when it finishes and decodes them on import,
+// a diagnostic in the downstream fixture proves the full gob round trip:
+// export → encode → decode → import, including the "Recv.Name" method key.
+var factrt = &analysis.Analyzer{
+	Name:      "factrt",
+	Doc:       "round-trips object facts across the fixture package graph",
+	FactTypes: []analysis.Fact{(*mark)(nil)},
+	Run: func(pass *analysis.Pass) (interface{}, error) {
+		g := summary.Build(pass.TypesInfo, pass.Files, true)
+		for _, d := range g.Decls {
+			pass.ExportObjectFact(d.Fn, &mark{Seen: pass.Pkg.Path() + "." + summary.FuncLabel(d.Fn)})
+		}
+		for i := range g.Decls {
+			for _, e := range g.Edges[i] {
+				if e.Fn == nil || e.Fn.Pkg() == nil || e.Fn.Pkg() == pass.Pkg {
+					continue
+				}
+				var m mark
+				if pass.ImportObjectFact(e.Fn, &m) {
+					pass.Reportf(e.Pos, "fact %s round-tripped", m.Seen)
+				}
+			}
+		}
+		return nil, nil
+	},
+}
+
+func TestFactRoundTrip(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), factrt, "fb")
+}

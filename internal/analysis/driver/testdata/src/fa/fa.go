@@ -1,0 +1,11 @@
+// Package fa exports functions and a method whose facts fb imports.
+package fa
+
+// Box is a fixture receiver type.
+type Box struct{ V int }
+
+// Get is a method: its fact is keyed "Box.Get".
+func (b *Box) Get() int { return b.V }
+
+// Make is a package-level function: its fact is keyed "Make".
+func Make() *Box { return &Box{} }

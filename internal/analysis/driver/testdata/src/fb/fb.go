@@ -1,0 +1,11 @@
+// Package fb imports fa's facts through the serialized store: each want
+// below only fires if the fact survived the encode/decode round trip.
+package fb
+
+import "fa"
+
+// Use calls into fa at every cross-package shape factrt reports on.
+func Use() int {
+	b := fa.Make() // want `fact fa\.Make round-tripped`
+	return b.Get() // want `fact fa\.Box\.Get round-tripped`
+}

@@ -1,0 +1,16 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/noalloc"
+)
+
+// TestNoalloc covers the fence (every flagged construct, //npf:allocok
+// escapes, transitive same-package reach, cross-package fact verdicts) and
+// the Required hot-path registry via a fixture package at the real
+// npf/internal/sim import path with two annotations removed.
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), noalloc.Analyzer, "a", "npf/internal/sim")
+}

@@ -7,20 +7,28 @@ package npflint
 import (
 	"golang.org/x/tools/go/analysis"
 
+	"npf/internal/analysis/detflow"
 	"npf/internal/analysis/detwall"
 	"npf/internal/analysis/maporder"
+	"npf/internal/analysis/noalloc"
 	"npf/internal/analysis/optshim"
+	"npf/internal/analysis/probepure"
 	"npf/internal/analysis/simtime"
 	"npf/internal/analysis/tracesafe"
 	"npf/internal/analysis/xengine"
 )
 
-// Analyzers returns the npflint suite in stable order.
+// Analyzers returns the npflint suite in stable order. detflow, noalloc,
+// and probepure are the interprocedural, facts-based analyzers; the rest
+// are per-package syntactic checks.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		detflow.Analyzer,
 		detwall.Analyzer,
 		maporder.Analyzer,
+		noalloc.Analyzer,
 		optshim.Analyzer,
+		probepure.Analyzer,
 		simtime.Analyzer,
 		tracesafe.Analyzer,
 		xengine.Analyzer,

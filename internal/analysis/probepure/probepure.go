@@ -1,0 +1,340 @@
+// Package probepure defines the sampler-probe purity analyzer. Probes
+// registered with Tracer.Probe are called by the sim-time sampler at every
+// tick, in name order, and their values are summed commutatively into the
+// series store (PR 5); the whole scheme is only deterministic if a probe
+// observes state without changing it — no field writes, no map mutation,
+// no randomness draws, no goroutines. This analyzer proves probes
+// read-only with fact-propagated mutation summaries: every function gets a
+// bottom-up Mutates/clean verdict, serialized across packages, and each
+// registration site checks the probe body (or referenced function) against
+// them. Reviewed exceptions are annotated //npf:probepure on the
+// registration line, with a justification comment.
+package probepure
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"npf/internal/analysis/directive"
+	"npf/internal/analysis/summary"
+)
+
+const Doc = `require sampler probes registered with Tracer.Probe to be read-only
+
+The sampler calls probes at every tick and sums their values; a probe that
+mutates state (fields through pointers, maps, channels, RNG draws) makes
+sampling perturb the run — the exact bug class the zero-alloc disabled
+path exists to prevent. Mutation summaries propagate through facts, so a
+probe calling a mutating helper three packages away is still caught.
+Annotate reviewed registrations //npf:probepure.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:      "probepure",
+	Doc:       Doc,
+	FactTypes: []analysis.Fact{(*Mutates)(nil), (*Analyzed)(nil)},
+	Run:       run,
+}
+
+// Mutates marks a function that writes non-local state (or cannot be
+// proven not to); What describes the first offending construct, as a call
+// chain for transitive cases.
+type Mutates struct {
+	What string
+}
+
+// AFact marks Mutates as a serializable analysis fact.
+func (*Mutates) AFact() {}
+
+// Analyzed is a package fact: the package has mutation summaries, so a
+// function there without a Mutates fact is proven read-only.
+type Analyzed struct{}
+
+// AFact marks Analyzed as a serializable analysis fact.
+func (*Analyzed) AFact() {}
+
+// allowedPkgs are unanalyzed packages whose functions are known pure.
+var allowedPkgs = map[string]bool{
+	"math":      true,
+	"math/bits": true,
+}
+
+type finding struct {
+	pos  token.Pos
+	what string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	g := summary.Build(info, pass.Files, false)
+
+	muts := make([][]finding, len(g.Decls))
+	for i, d := range g.Decls {
+		// Literal bodies are skipped here, mirroring the edge pass:
+		// invoking a literal is a dynamic call, which the verdict already
+		// treats as unprovable.
+		muts[i] = scanMutations(info, d.Decl.Body, d.Decl.Pos(), d.Decl.End(), false)
+	}
+	external := func(e summary.Edge) string { return externalWhy(pass, e) }
+	reasons := g.Fixpoint(func(i int) string {
+		if len(muts[i]) == 0 {
+			return ""
+		}
+		return muts[i][0].what
+	}, external, nil)
+
+	for i, d := range g.Decls {
+		if reasons[i] != "" {
+			pass.ExportObjectFact(d.Fn, &Mutates{What: reasons[i]})
+		}
+	}
+	pass.ExportPackageFact(&Analyzed{})
+
+	// Check every Tracer.Probe registration in this package.
+	dirs := directive.ForFiles(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, _ := summary.StaticCallee(info, call)
+			if !isProbeRegistration(fn) || len(call.Args) != 2 {
+				return true
+			}
+			if dirs.Allows(pass.Fset, "probepure", call.Lparen) {
+				return true
+			}
+			pos, why := probeWhy(pass, g, reasons, call.Args[1])
+			if why != "" {
+				pass.Reportf(pos, "sampler probe %s is not read-only: %s — probes run every tick and must observe without mutating (annotate //npf:probepure if reviewed)",
+					probeName(call.Args[0]), why)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isProbeRegistration matches the method (*trace.Tracer).Probe.
+func isProbeRegistration(fn *types.Func) bool {
+	if fn == nil || fn.Name() != "Probe" || fn.Pkg() == nil || fn.Pkg().Path() != "npf/internal/trace" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Tracer"
+}
+
+// probeName renders the registration's name argument for diagnostics.
+func probeName(arg ast.Expr) string {
+	if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return lit.Value
+	}
+	return "(dynamic name)"
+}
+
+// probeWhy evaluates the purity of a probe argument: a function literal is
+// scanned in place (mutations reported at their own position), a named
+// function or method value is resolved against the local summaries or the
+// imported facts. "" means proven read-only.
+func probeWhy(pass *analysis.Pass, g *summary.Graph, reasons []string, arg ast.Expr) (token.Pos, string) {
+	info := pass.TypesInfo
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		// Locality is judged against the literal itself: writing a
+		// variable captured from the enclosing function is a mutation of
+		// shared state from the sampler's point of view.
+		if ms := scanMutations(info, a.Body, a.Pos(), a.End(), true); len(ms) > 0 {
+			return ms[0].pos, ms[0].what
+		}
+		for _, e := range summary.CallEdges(info, a.Body, true) {
+			if e.Fn != nil {
+				if j, ok := g.Index[e.Fn]; ok {
+					if reasons[j] != "" {
+						return e.Pos, summary.Chain(summary.FuncLabel(e.Fn), reasons[j])
+					}
+					continue
+				}
+			}
+			if why := externalWhy(pass, e); why != "" {
+				return e.Pos, why
+			}
+		}
+		return arg.Pos(), ""
+	default:
+		fn := referencedFunc(info, arg)
+		if fn == nil {
+			return arg.Pos(), "dynamic probe value (cannot prove read-only)"
+		}
+		if j, ok := g.Index[fn]; ok {
+			if reasons[j] != "" {
+				return arg.Pos(), summary.Chain(summary.FuncLabel(fn), reasons[j])
+			}
+			return arg.Pos(), ""
+		}
+		return arg.Pos(), externalWhy(pass, summary.Edge{Pos: arg.Pos(), Fn: fn})
+	}
+}
+
+// referencedFunc resolves a func/method value expression to its target.
+func referencedFunc(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// externalWhy explains why a call leaving the package (or with no static
+// callee) cannot be proven read-only; "" admits it.
+func externalWhy(pass *analysis.Pass, e summary.Edge) string {
+	if e.Fn == nil {
+		return "dynamic call (cannot prove read-only)"
+	}
+	fn := e.Fn
+	if fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return ""
+	}
+	var m Mutates
+	if pass.ImportObjectFact(fn, &m) {
+		return "calls " + crossLabel(fn) + ", which mutates state: " + m.What
+	}
+	path := fn.Pkg().Path()
+	if allowedPkgs[path] {
+		return ""
+	}
+	var an Analyzed
+	if pass.ImportPackageFact(fn.Pkg(), &an) {
+		return "" // analyzed and carries no Mutates fact: proven read-only
+	}
+	return "calls " + crossLabel(fn) + " (package " + path + " has no purity summaries)"
+}
+
+func crossLabel(fn *types.Func) string {
+	label := summary.FuncLabel(fn)
+	if fn.Pkg() != nil {
+		label = fn.Pkg().Name() + "." + label
+	}
+	return label
+}
+
+// scanMutations finds writes to state outside the scope [lo, hi] under
+// node. Unless deep, function-literal bodies are skipped (defining a
+// literal mutates nothing; invoking it is a dynamic call the edge pass
+// already rejects).
+func scanMutations(info *types.Info, node ast.Node, lo, hi token.Pos, deep bool) []finding {
+	var out []finding
+	add := func(pos token.Pos, what string) {
+		if what != "" {
+			out = append(out, finding{pos: pos, what: what})
+		}
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != node && !deep {
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				add(lhs.Pos(), classifyWrite(info, lhs, lo, hi))
+			}
+		case *ast.IncDecStmt:
+			add(n.Pos(), classifyWrite(info, n.X, lo, hi))
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					add(n.Key.Pos(), classifyWrite(info, n.Key, lo, hi))
+				}
+				if n.Value != nil {
+					add(n.Value.Pos(), classifyWrite(info, n.Value, lo, hi))
+				}
+			}
+		case *ast.SendStmt:
+			add(n.Pos(), "sends on a channel")
+		case *ast.GoStmt:
+			add(n.Pos(), "starts a goroutine")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "delete":
+						add(n.Pos(), "deletes from a map")
+					case "copy":
+						add(n.Pos(), "copy writes through its destination")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classifyWrite reports why writing lhs touches state shared beyond the
+// scope [lo, hi]; "" means the write is provably local (a variable
+// declared in scope, or a field of a by-value copy).
+func classifyWrite(info *types.Info, lhs ast.Expr, lo, hi token.Pos) string {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.Ident:
+			obj := info.Uses[e]
+			if obj == nil {
+				obj = info.Defs[e]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return "" // blank identifier
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return "writes package variable " + v.Name()
+			}
+			if v.Pos() < lo || v.Pos() > hi {
+				return "writes captured variable " + v.Name()
+			}
+			return ""
+		case *ast.SelectorExpr:
+			if t := info.TypeOf(e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Pointer); ok {
+					return "writes field " + e.Sel.Name + " through a pointer"
+				}
+			}
+			lhs = e.X
+		case *ast.IndexExpr:
+			t := info.TypeOf(e.X)
+			if t == nil {
+				return "writes to unanalyzed expression"
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				return "writes a map element"
+			case *types.Slice:
+				return "writes a slice element (shared backing)"
+			case *types.Pointer:
+				return "writes an array element through a pointer"
+			default:
+				lhs = e.X // array value: locality decided by its base
+			}
+		case *ast.StarExpr:
+			return "writes through a pointer"
+		default:
+			return "writes to unanalyzed expression"
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package probepure_test
+
+import (
+	"testing"
+
+	"npf/internal/analysis/analysistest"
+	"npf/internal/analysis/probepure"
+)
+
+// TestProbepure covers probe shapes (method values, literals, chains,
+// cross-package targets via facts, dynamic values) and the //npf:probepure
+// escape, against a Tracer stand-in at the matched import path.
+func TestProbepure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), probepure.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a registers sampler probes of every shape: pure method values,
+// pure and mutating literals, cross-package targets resolved through
+// facts, dynamic values, and a reviewed //npf:probepure escape.
+package a
+
+import (
+	"m"
+	"npf/internal/trace"
+)
+
+type dev struct {
+	n   int
+	lat map[string]int
+}
+
+// len is a pure method value target.
+func (d *dev) len() float64 { return float64(d.n) }
+
+// bump mutates the receiver: probes must not reach it.
+func (d *dev) bump() float64 {
+	d.n++
+	return float64(d.n)
+}
+
+// Register wires every fixture probe.
+func Register(tr *trace.Tracer) {
+	d := &dev{lat: map[string]int{}}
+
+	tr.Probe("ok.len", d.len)
+	tr.Probe("ok.lit", func() float64 { return float64(d.n) })
+	tr.Probe("ok.cross", m.Read)
+	tr.Probe("ok.sum", func() float64 {
+		total := 0.0
+		for _, v := range d.lat {
+			total += float64(v)
+		}
+		return total
+	})
+	//npf:probepure — reviewed: fixture escape for an intentional mutation
+	tr.Probe("ok.reviewed", d.bump)
+
+	tr.Probe("bad.method", d.bump) // want `sampler probe "bad\.method" is not read-only: dev\.bump → writes field n through a pointer`
+	tr.Probe("bad.lit", func() float64 {
+		d.n++ // want `sampler probe "bad\.lit" is not read-only: writes field n through a pointer`
+		return float64(d.n)
+	})
+	tr.Probe("bad.chain", func() float64 {
+		return d.bump() // want `sampler probe "bad\.chain" is not read-only: dev\.bump → writes field n through a pointer`
+	})
+	tr.Probe("bad.cross", m.Count)                                 // want `sampler probe "bad\.cross" is not read-only: calls m\.Count, which mutates state: writes package variable hits`
+	tr.Probe("bad.map", func() float64 { d.lat["x"]++; return 0 }) // want `sampler probe "bad\.map" is not read-only: writes a map element`
+	var f func() float64
+	tr.Probe("bad.dyn", f) // want `sampler probe "bad\.dyn" is not read-only: dynamic probe value \(cannot prove read-only\)`
+}

@@ -1,0 +1,15 @@
+// Package m provides cross-package probe targets: Count's Mutates fact and
+// Read's proven-clean verdict both travel to the registering package
+// through the serialized fact store.
+package m
+
+var hits int
+
+// Count mutates package state: registering it as a probe is a finding.
+func Count() float64 {
+	hits++
+	return float64(hits)
+}
+
+// Read is read-only.
+func Read() float64 { return float64(hits) }

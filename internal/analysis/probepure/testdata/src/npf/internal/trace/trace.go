@@ -1,0 +1,15 @@
+// Package trace is a stand-in for the real tracer: probepure matches
+// registrations by method name (Probe), receiver type (Tracer), and this
+// exact import path, so the fixture must live at npf/internal/trace.
+package trace
+
+// Tracer is a stand-in sampler host.
+type Tracer struct{ probes map[string]func() float64 }
+
+// Probe registers a sampler probe.
+func (t *Tracer) Probe(name string, fn func() float64) {
+	if t.probes == nil {
+		t.probes = make(map[string]func() float64)
+	}
+	t.probes[name] = fn
+}

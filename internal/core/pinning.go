@@ -84,6 +84,7 @@ func (c *PinDownCache) SetTracer(tr *trace.Tracer) {
 	c.cHits = tr.Counter("pin.cache_hits")
 	c.cMiss = tr.Counter("pin.cache_misses")
 	c.cEvict = tr.Counter("pin.cache_evictions")
+	//npf:probepure — PinnedBytes only reads list.Len (a pure field read the analyzer cannot see into container/list)
 	tr.Probe("pin.pinned_bytes", func() float64 {
 		return float64(c.PinnedBytes())
 	})

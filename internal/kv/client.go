@@ -87,8 +87,14 @@ func (s *Service) NewWorkload(cfg WorkloadConfig) *Workload {
 	// the client tracer (the server tracer on a single-engine service).
 	tr := s.TracerC
 	tenant := cfg.Tenant
+	// The Percentile probes touch the histogram's lazy sort cache — an
+	// in-place, order-insensitive reordering that runs at deterministic
+	// sampler ticks, so same-seed runs stay byte-identical.
+	//npf:probepure — Histogram.Percentile's lazy sort is an internal cache, not observable state
 	tr.Probe("kv."+tenant+".p50_us", func() float64 { return w.Lat.Percentile(50) })
+	//npf:probepure — Histogram.Percentile's lazy sort is an internal cache, not observable state
 	tr.Probe("kv."+tenant+".p99_us", func() float64 { return w.Lat.Percentile(99) })
+	//npf:probepure — Histogram.Percentile's lazy sort is an internal cache, not observable state
 	tr.Probe("kv."+tenant+".p999_us", func() float64 { return w.Lat.Percentile(99.9) })
 	tr.Probe("kv."+tenant+".completed", func() float64 { return float64(w.completed) })
 	s.workloads = append(s.workloads, w)

@@ -177,7 +177,7 @@ func (e *Engine) alloc(t Time, fn func()) *event {
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
 	} else {
-		ev = &event{}
+		ev = &event{} //npf:allocok — pool miss; amortized away once the pool warms up
 	}
 	ev.at, ev.seq, ev.fn = t, e.seq, fn
 	e.seq++
@@ -192,21 +192,23 @@ func (e *Engine) recycle(ev *event) {
 	ev.dead = false
 	ev.imm = false
 	if len(e.free) < maxFreeEvents {
-		e.free = append(e.free, ev)
+		e.free = append(e.free, ev) //npf:allocok — pool refill; capacity reaches steady state
 	}
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (before Now) panics: that is always a component bug.
+//
+//npf:noalloc
 func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now)) //npf:allocok — dying anyway
 	}
 	ev := e.alloc(t, fn)
 	e.live++
 	if t == e.now {
 		ev.imm = true
-		e.imm = append(e.imm, ev)
+		e.imm = append(e.imm, ev) //npf:allocok — FIFO backing reaches steady-state capacity
 	} else {
 		e.pushHeap(ev)
 	}
@@ -216,6 +218,8 @@ func (e *Engine) At(t Time, fn func()) EventID {
 // After schedules fn to run d nanoseconds from now. The target time
 // saturates at Forever instead of wrapping, and events at Forever never
 // execute, so arbitrarily long delays are safe no-ops.
+//
+//npf:noalloc
 func (e *Engine) After(d Time, fn func()) EventID {
 	if d < 0 {
 		d = 0
@@ -228,6 +232,8 @@ func (e *Engine) After(d Time, fn func()) EventID {
 // actually removed. Removal is lazy: the event is marked dead and skipped
 // (and its struct recycled) when it reaches the front of its queue, with a
 // full compaction once dead events outnumber live ones.
+//
+//npf:noalloc
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
 	if ev == nil || ev.gen != id.gen || ev.dead {
@@ -254,7 +260,7 @@ func (e *Engine) compact() {
 		if ev.dead {
 			e.recycle(ev)
 		} else {
-			kept = append(kept, ev)
+			kept = append(kept, ev) //npf:allocok — appends into e.heap's own backing (kept = e.heap[:0]); never grows
 		}
 	}
 	for i := len(kept); i < len(e.heap); i++ {
@@ -381,7 +387,7 @@ func eventLess(a, b *event) bool {
 }
 
 func (e *Engine) pushHeap(ev *event) {
-	e.heap = append(e.heap, ev)
+	e.heap = append(e.heap, ev) //npf:allocok — heap backing reaches steady-state capacity
 	e.siftUp(len(e.heap) - 1)
 }
 

@@ -150,11 +150,17 @@ func (t *Tracer) Spans() []Span {
 }
 
 // Begin opens a span starting now. parent may be 0 for a root span.
+//
+// The fence covers the disabled (nil-tracer) path — the runtime
+// TestTracerDisabledNoAlloc gate in static form; the enabled path is
+// allowed to grow the span store.
+//
+//npf:noalloc
 func (t *Tracer) Begin(parent SpanID, cat, name string) SpanID {
 	if t == nil {
 		return 0
 	}
-	return t.BeginAt(parent, cat, name, t.eng.Now())
+	return t.BeginAt(parent, cat, name, t.eng.Now()) //npf:allocok — enabled path; span store growth is the tracer's job
 }
 
 // BeginAt opens a span with an explicit start time (device paths often know
@@ -180,7 +186,11 @@ func (t *Tracer) Span(parent SpanID, cat, name string, start, end sim.Time) Span
 	return id
 }
 
-// End closes span id at the current virtual time.
+// End closes span id at the current virtual time. Allocation-free on both
+// the disabled and the enabled path (EndAt writes in place), so the whole
+// body sits inside the fence with no escapes.
+//
+//npf:noalloc
 func (t *Tracer) End(id SpanID) {
 	if t == nil || id == 0 {
 		return
@@ -207,11 +217,13 @@ func (t *Tracer) ArgStr(id SpanID, key, val string) {
 }
 
 // ArgInt annotates span id with an integer value.
+//
+//npf:noalloc
 func (t *Tracer) ArgInt(id SpanID, key string, val int64) {
 	if t == nil || id == 0 {
 		return
 	}
-	t.ArgStr(id, key, itoa(val))
+	t.ArgStr(id, key, itoa(val)) //npf:allocok — enabled path; formatting and the Args append allocate by design
 }
 
 // itoa is strconv.FormatInt(v, 10) without pulling fmt into the hot path.

@@ -123,7 +123,11 @@ func NewSource(cfg Config, rng *sim.Rand) Source {
 
 // NextOp draws one operation: whether it is a get, and the Zipf-ranked key
 // index. The draw order (Bernoulli, then Zipf) is the historical kv order,
-// so extracting the generator did not change any seeded run.
+// so extracting the generator did not change any seeded run. Runs on every
+// simulated op, so it is fenced allocation-free (and gated at runtime by
+// TestSourceDrawAllocs).
+//
+//npf:noalloc
 func (s *Source) NextOp() (get bool, key int) {
 	get = s.rng.Bernoulli(s.getRatio)
 	key = s.rng.Zipf(s.keys, s.zipfS)
@@ -132,7 +136,10 @@ func (s *Source) NextOp() (get bool, key int) {
 
 // NextArrival draws the open-loop inter-arrival gap at virtual time now,
 // with the configured curve modulating the base rate. The +1ns floor keeps
-// gaps strictly positive.
+// gaps strictly positive. Runs on every open-loop arrival, so it is fenced
+// allocation-free like NextOp.
+//
+//npf:noalloc
 func (s *Source) NextArrival(now sim.Time) sim.Time {
 	rate := s.rate * s.curve.Mult(now)
 	gap := s.rng.Exp(1e9 / rate) // mean gap in ns

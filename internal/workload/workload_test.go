@@ -126,3 +126,23 @@ func TestKeyTableInterning(t *testing.T) {
 		t.Fatalf("interned lookup allocates: %v allocs/op", allocs)
 	}
 }
+
+// TestSourceDrawAllocs is the runtime side of the //npf:noalloc fence on
+// NextOp/NextArrival: both draws run per simulated op and must be
+// allocation-free at steady state.
+func TestSourceDrawAllocs(t *testing.T) {
+	cfg := Config{OpenLoop: true}.WithDefaults(1000)
+	eng := sim.NewEngine(7)
+	src := NewSource(cfg, eng.Rand().Split())
+	var sink int
+	allocs := testing.AllocsPerRun(200, func() {
+		g, k := src.NextOp()
+		if g {
+			sink += k
+		}
+		sink += int(src.NextArrival(3 * sim.Microsecond))
+	})
+	if allocs != 0 {
+		t.Fatalf("Source draws allocate: %v allocs/op", allocs)
+	}
+}

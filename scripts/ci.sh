@@ -41,7 +41,9 @@ go test -timeout 20m ./...
 # The full experiment suite (internal/bench) takes ~10 minutes without the
 # race detector and blows past any reasonable timeout with it; its heavy
 # tests honour -short, so the race pass runs in short mode and still
-# exercises every package's fast paths under the detector.
+# exercises every package's fast paths under the detector. This pass also
+# covers the analyzer unit tests (internal/analysis/...): the fixture
+# harness and the shared fact store run under the detector here.
 echo "== go test -race -short =="
 go test -race -short -timeout 10m ./...
 
@@ -107,6 +109,10 @@ echo "engines matrix ok (chaos + kv + scaleout, -engines 1 vs 4)"
 # The optshim analyzer subsumes the old grep-based deprecated-shim gate and
 # is robust to import aliasing and line wrapping; xengine fences the sim
 # layers from sync/channel/go constructs that would race partitions.
+# The v2 interprocedural analyzers ride the same invocation: detflow
+# (transitive nondeterminism reach via facts), noalloc (the //npf:noalloc
+# allocation fence — removing a registered hot-path annotation fails
+# here), and probepure (read-only sampler probes).
 echo "== npflint =="
 go run ./cmd/npflint ./...
 
