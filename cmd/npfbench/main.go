@@ -8,6 +8,14 @@
 // table5 as partitioned PDES runs at engine-thread budgets 1 and 8 and
 // records the speedup in the -json artifact's "scaling" section.
 //
+// The extra "anatomy" experiment (not in the default set) runs the fault
+// profiler: the distributed-KV deployment per registration policy with the
+// causal fault recorder always on, landing the per-policy anatomy rows in
+// the -json artifact's "fault_anatomy" section (also rendered standalone by
+// `npftrace anatomy`). When any tracers were built (-trace/-series), the
+// artifact additionally carries a "trace_drops" section summing dropped
+// spans and flight-recorder events/records; npfstat warns when nonzero.
+//
 // The extra "scaleout" experiment (also not in the default set) runs the
 // million-user cluster sweep — 1,008 hosts and 101,000 logical clients per
 // transport on one fixed 8-partition group — and records the fleet shape,
@@ -207,19 +215,34 @@ type scalingRow struct {
 	Events  uint64  `json:"events"`
 }
 
+// traceDrops summarises telemetry loss across every tracer the run built:
+// spans dropped at MaxSpans plus fault lifecycle events/records dropped at
+// the flight-recorder bounds. Nonzero values mean the capture was partial
+// (npfstat warns on them); they never affect the simulation itself.
+type traceDrops struct {
+	Tracers        int    `json:"tracers"`
+	Spans          uint64 `json:"dropped_spans"`
+	FaultEvents    uint64 `json:"dropped_fault_events"`
+	FaultRecords   uint64 `json:"dropped_fault_records"`
+	PendingFaults  int    `json:"pending_faults"`
+	CompletedFault int    `json:"completed_faults"`
+}
+
 // benchArtifact is the top-level -json document.
 type benchArtifact struct {
-	GoVersion   string                  `json:"go_version"`
-	GOMAXPROCS  int                     `json:"gomaxprocs"`
-	Parallel    int                     `json:"parallel"`
-	Engines     int                     `json:"engines"`
-	Quick       bool                    `json:"quick"`
-	EngineBench bench.EngineBenchResult `json:"engine_bench"`
-	Series      *seriesSummary          `json:"series,omitempty"`
-	KV          []kvRow                 `json:"kv,omitempty"`
-	ScaleOut    []scaleoutRow           `json:"scale_out,omitempty"`
-	Scaling     []scalingRow            `json:"scaling,omitempty"`
-	Experiments []expResult             `json:"experiments"`
+	GoVersion    string                  `json:"go_version"`
+	GOMAXPROCS   int                     `json:"gomaxprocs"`
+	Parallel     int                     `json:"parallel"`
+	Engines      int                     `json:"engines"`
+	Quick        bool                    `json:"quick"`
+	EngineBench  bench.EngineBenchResult `json:"engine_bench"`
+	Series       *seriesSummary          `json:"series,omitempty"`
+	KV           []kvRow                 `json:"kv,omitempty"`
+	FaultAnatomy []bench.AnatomyRow      `json:"fault_anatomy,omitempty"`
+	ScaleOut     []scaleoutRow           `json:"scale_out,omitempty"`
+	Scaling      []scalingRow            `json:"scaling,omitempty"`
+	TraceDrops   *traceDrops             `json:"trace_drops,omitempty"`
+	Experiments  []expResult             `json:"experiments"`
 }
 
 // runScale times fig4a and table5 as partitioned PDES runs at engine-thread
@@ -439,6 +462,10 @@ func main() {
 			r := bench.RunKV(*quick)
 			artifact.KV = kvRows(r)
 			out = r.Render()
+		case "anatomy":
+			r := bench.RunAnatomy(*quick)
+			artifact.FaultAnatomy = r.Rows()
+			out = r.Render()
 		case "scaleout":
 			r := bench.RunScaleout(*quick)
 			artifact.ScaleOut = scaleoutRows(r)
@@ -473,6 +500,22 @@ func main() {
 		}
 		artifact.Experiments = append(artifact.Experiments, row)
 		fmt.Printf("==== %s (wall %v) ====\n%s\n", exp, wall.Round(time.Millisecond), out)
+	}
+
+	if len(tracers) > 0 {
+		td := &traceDrops{Tracers: len(tracers)}
+		for _, tr := range tracers {
+			td.Spans += tr.DroppedSpans()
+			td.FaultEvents += tr.DroppedFaultEvents()
+			td.FaultRecords += tr.DroppedFaultRecords()
+			td.PendingFaults += tr.PendingFaults()
+			td.CompletedFault += tr.FaultRecordCount()
+		}
+		artifact.TraceDrops = td
+		if td.Spans+td.FaultEvents+td.FaultRecords > 0 {
+			fmt.Printf("trace drops: %d spans, %d fault events, %d fault records across %d tracers\n",
+				td.Spans, td.FaultEvents, td.FaultRecords, td.Tracers)
+		}
 	}
 
 	if *seriesOut != "" {

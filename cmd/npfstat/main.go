@@ -20,9 +20,13 @@
 // p99/npfs/evictions/shed/failovers beyond -count-tol — all virtual-time
 // deterministic), a scale-out fleet row (hosts/clients/ops/fingerprint and
 // per-tenant ops/lost exactly; bytes-per-host, npfs, evictions, and tenant
-// p99 beyond -count-tol), a PDES-scaling row with drifted events, or an
-// allocs/op regression in the engine microbenchmark — is a hard failure
-// (exit 1).
+// p99 beyond -count-tol), a fault-anatomy row (faults/pending and the
+// critical-path stage/layer/host attribution exactly; npfs and the total
+// latency percentiles beyond -count-tol), a PDES-scaling row with drifted
+// events, or an allocs/op regression in the engine microbenchmark — is a
+// hard failure (exit 1). Nonzero dropped-telemetry counts (flight-recorder
+// events/records, spans) only warn: the capture was partial but the
+// simulation itself is unaffected.
 // Wall-clock, events-per-second, and scaling-speedup deltas are
 // machine-load noise and only warn, unless -fail-on-timing promotes them.
 // Exit codes: 0 pass, 1 fail, 2 usage.
@@ -59,6 +63,35 @@ type kvRow struct {
 	Evictions uint64  `json:"evictions"`
 	Shed      uint64  `json:"shed"`
 	Failovers uint64  `json:"failovers"`
+}
+
+// anatomyRow mirrors npfbench's per-policy fault-anatomy row ("anatomy"
+// experiment). Fault counts and the critical-path attribution are exact
+// (virtual-time deterministic); the total-latency percentiles gate within
+// -count-tol; the dropped_* fields only warn (telemetry loss, not a
+// behaviour change).
+type anatomyRow struct {
+	Policy         string  `json:"policy"`
+	Faults         int     `json:"faults"`
+	Pending        int     `json:"pending"`
+	NPFs           uint64  `json:"npfs"`
+	TotalP50Us     float64 `json:"total_p50_us"`
+	TotalP99Us     float64 `json:"total_p99_us"`
+	CritStage      string  `json:"crit_stage"`
+	CritLayer      string  `json:"crit_layer"`
+	CritHost       int64   `json:"crit_host"`
+	CritShare      float64 `json:"crit_share"`
+	DroppedEvents  uint64  `json:"dropped_fault_events"`
+	DroppedRecords uint64  `json:"dropped_fault_records"`
+	DroppedSpans   uint64  `json:"dropped_spans"`
+}
+
+// traceDrops mirrors npfbench's telemetry-loss summary.
+type traceDrops struct {
+	Tracers      int    `json:"tracers"`
+	Spans        uint64 `json:"dropped_spans"`
+	FaultEvents  uint64 `json:"dropped_fault_events"`
+	FaultRecords uint64 `json:"dropped_fault_records"`
 }
 
 // scalingRow mirrors npfbench's PDES-scaling record ("scale" experiment).
@@ -118,10 +151,12 @@ type artifact struct {
 		Metrics int    `json:"metrics"`
 		Digest  string `json:"digest"`
 	} `json:"series,omitempty"`
-	KV          []kvRow       `json:"kv,omitempty"`
-	ScaleOut    []scaleoutRow `json:"scale_out,omitempty"`
-	Scaling     []scalingRow  `json:"scaling,omitempty"`
-	Experiments []expRow      `json:"experiments"`
+	KV           []kvRow       `json:"kv,omitempty"`
+	FaultAnatomy []anatomyRow  `json:"fault_anatomy,omitempty"`
+	ScaleOut     []scaleoutRow `json:"scale_out,omitempty"`
+	Scaling      []scalingRow  `json:"scaling,omitempty"`
+	TraceDrops   *traceDrops   `json:"trace_drops,omitempty"`
+	Experiments  []expRow      `json:"experiments"`
 }
 
 func readArtifact(path string) (*artifact, error) {
@@ -309,6 +344,90 @@ func diff(base, cur *artifact, cfg diffConfig) ([]row, bool) {
 			count(scope, "evictions", float64(b.Evictions), float64(c.Evictions))
 			count(scope, "shed", float64(b.Shed), float64(c.Shed))
 			count(scope, "failovers", float64(b.Failovers), float64(c.Failovers))
+		}
+	}
+
+	if len(cur.FaultAnatomy) > 0 {
+		anBase := make(map[string]*anatomyRow, len(base.FaultAnatomy))
+		for i := range base.FaultAnatomy {
+			anBase[base.FaultAnatomy[i].Policy] = &base.FaultAnatomy[i]
+		}
+		count := func(scope, metric string, b, c float64) {
+			d := relDelta(b, c)
+			r := row{scope: scope, metric: metric,
+				base: fmt.Sprintf("%.0f", b), cur: fmt.Sprintf("%.0f", c), delta: fmtDelta(d)}
+			if math.Abs(d) > cfg.countTol {
+				r.note = fmt.Sprintf("beyond count-tol %.2f", cfg.countTol)
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+		}
+		exactStr := func(scope, metric, b, c, note string) {
+			r := row{scope: scope, metric: metric, base: b, cur: c}
+			if c != b {
+				r.note = note
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+		}
+		for i := range cur.FaultAnatomy {
+			c := &cur.FaultAnatomy[i]
+			scope := "an/" + c.Policy
+			b, ok := anBase[c.Policy]
+			if !ok {
+				fail(row{scope: scope, metric: "presence", base: "-", cur: "present",
+					delta: "new", note: "policy not in baseline"})
+				continue
+			}
+			// Completed-fault and pending counts are lifecycle-accounting
+			// invariants: a drifted count means a fault was minted, resumed,
+			// or leaked differently — a behaviour change, not noise.
+			r := row{scope: scope, metric: "faults",
+				base: fmt.Sprint(b.Faults), cur: fmt.Sprint(c.Faults),
+				delta: fmtDelta(relDelta(float64(b.Faults), float64(c.Faults)))}
+			if c.Faults != b.Faults {
+				r.note = "fault-count drift (deterministic given seed)"
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+			r = row{scope: scope, metric: "pending",
+				base: fmt.Sprint(b.Pending), cur: fmt.Sprint(c.Pending),
+				delta: fmtDelta(relDelta(float64(b.Pending), float64(c.Pending)))}
+			if c.Pending != b.Pending {
+				r.note = "pending-fault drift (leaked or lost lifecycle)"
+				fail(r)
+			} else {
+				rows = append(rows, r)
+			}
+			count(scope, "npfs", float64(b.NPFs), float64(c.NPFs))
+			count(scope, "total_p50_us", b.TotalP50Us, c.TotalP50Us)
+			count(scope, "total_p99_us", b.TotalP99Us, c.TotalP99Us)
+			// The critical-path attribution is the experiment's headline
+			// claim; a changed dominant stage/layer/host is a real shift in
+			// where tail latency comes from.
+			exactStr(scope, "crit_stage", b.CritStage, c.CritStage, "dominant tail stage changed")
+			exactStr(scope, "crit_layer", b.CritLayer, c.CritLayer, "dominant tail layer changed")
+			exactStr(scope, "crit_host", fmt.Sprint(b.CritHost), fmt.Sprint(c.CritHost),
+				"dominant tail host changed")
+			if dropped := c.DroppedEvents + c.DroppedRecords + c.DroppedSpans; dropped > 0 {
+				r := row{scope: scope, metric: "dropped", base: "0",
+					cur: fmt.Sprint(dropped), v: vWarn,
+					note: "telemetry loss: anatomy is partial (raise the recorder bounds)"}
+				rows = append(rows, r)
+			}
+		}
+	}
+
+	if cur.TraceDrops != nil {
+		td := cur.TraceDrops
+		if n := td.Spans + td.FaultEvents + td.FaultRecords; n > 0 {
+			rows = append(rows, row{scope: "trace", metric: "dropped",
+				base: "0", cur: fmt.Sprint(n), v: vWarn,
+				note: fmt.Sprintf("telemetry loss across %d tracers (spans %d, fault ev %d, fault rec %d)",
+					td.Tracers, td.Spans, td.FaultEvents, td.FaultRecords)})
 		}
 	}
 

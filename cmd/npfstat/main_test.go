@@ -169,6 +169,54 @@ func TestDiffKVGate(t *testing.T) {
 	}
 }
 
+func mkAnatomyArtifact(faults, pending int, p99 float64, stage string) *artifact {
+	a := mkArtifact(1000, 3, 50, 0)
+	a.FaultAnatomy = []anatomyRow{{
+		Policy: "odp", Faults: faults, Pending: pending, NPFs: 1300,
+		TotalP50Us: 250, TotalP99Us: p99,
+		CritStage: stage, CritLayer: "hw", CritHost: 2, CritShare: 0.9,
+	}}
+	return a
+}
+
+func TestDiffAnatomyGate(t *testing.T) {
+	base := mkAnatomyArtifact(1300, 2, 7000, "fault-report")
+	if _, pass := diff(base, mkAnatomyArtifact(1300, 2, 7000, "fault-report"), defCfg); !pass {
+		t.Fatal("identical anatomy rows failed the gate")
+	}
+	// Percentiles drift within -count-tol; fault accounting never does.
+	if _, pass := diff(base, mkAnatomyArtifact(1300, 2, 7200, "fault-report"), defCfg); !pass {
+		t.Fatal("in-tolerance anatomy p99 drift failed the gate")
+	}
+	for name, cur := range map[string]*artifact{
+		"fault-count drift": mkAnatomyArtifact(1299, 2, 7000, "fault-report"),
+		"leaked pending":    mkAnatomyArtifact(1300, 3, 7000, "fault-report"),
+		"p99 blowup":        mkAnatomyArtifact(1300, 2, 14000, "fault-report"),
+		"crit-path shift":   mkAnatomyArtifact(1300, 2, 7000, "driver"),
+	} {
+		if _, pass := diff(base, cur, defCfg); pass {
+			t.Fatalf("%s: expected hard failure", name)
+		}
+	}
+	// Dropped telemetry warns but does not fail.
+	cur := mkAnatomyArtifact(1300, 2, 7000, "fault-report")
+	cur.FaultAnatomy[0].DroppedEvents = 5
+	cur.TraceDrops = &traceDrops{Tracers: 2, FaultEvents: 5}
+	rows, pass := diff(base, cur, defCfg)
+	if !pass {
+		t.Fatal("dropped-telemetry warning hard-failed the gate")
+	}
+	warns := 0
+	for _, r := range rows {
+		if r.v == vWarn && r.metric == "dropped" {
+			warns++
+		}
+	}
+	if warns != 2 {
+		t.Fatalf("got %d dropped-telemetry warnings, want 2 (row + summary):\n%+v", warns, rows)
+	}
+}
+
 func TestRelDelta(t *testing.T) {
 	if d := relDelta(100, 110); math.Abs(d-0.1) > 1e-12 {
 		t.Fatalf("relDelta = %v, want 0.1", d)

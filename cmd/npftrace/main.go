@@ -18,12 +18,25 @@
 //	-k         how many slowest NPFs to list (default 5)
 //	-size      message bytes for single/fig3 (default 4096)
 //	-o         also write a Chrome trace_event JSON (Perfetto-loadable)
+//
+// Subcommands (the causal fault profiler; see internal/trace/fault.go):
+//
+//	npftrace anatomy  [-quick] [-parallel N] [-engines N] [-json]
+//	    the per-stage NPF latency breakdown per registration policy,
+//	    from the distributed-KV deployment under reclaim waves
+//	npftrace critpath [-quick] [-parallel N] [-engines N] [-json]
+//	    only the critical-path extraction for the p99 tail
+//
+// Both renderings contain no wall-clock time and are byte-identical for
+// every -parallel and -engines value.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"npf/internal/apps"
 	"npf/internal/bench"
@@ -35,6 +48,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && (os.Args[1] == "anatomy" || os.Args[1] == "critpath") {
+		os.Exit(runAnatomyCmd(os.Args[1], os.Args[2:]))
+	}
 	scenario := flag.String("scenario", "single", "scenario: single, fig3, backup")
 	seed := flag.Int64("seed", 7, "engine seed")
 	trials := flag.Int("trials", 50, "NPF count for the fig3 scenario")
@@ -95,6 +111,41 @@ func main() {
 		}
 		fmt.Printf("\nwrote %d spans to %s\n", tr.SpanCount(), *out)
 	}
+}
+
+// runAnatomyCmd runs the fault-anatomy profiler (bench.RunAnatomy) and
+// renders it as text or JSON. The -parallel/-engines knobs mirror
+// npfbench's: they change only wall-clock time, never a byte of output.
+func runAnatomyCmd(cmd string, args []string) int {
+	fs := flag.NewFlagSet("npftrace "+cmd, flag.ExitOnError)
+	quick := fs.Bool("quick", false, "reduced op count")
+	parallel := fs.Int("parallel", 0, "sweep worker goroutines (0 = GOMAXPROCS)")
+	engines := fs.Int("engines", 0, "PDES engine budget (0 = single-engine jobs)")
+	jsonOut := fs.Bool("json", false, "emit the fault_anatomy rows as JSON")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+	bench.Workers = *parallel
+	bench.Engines = *engines
+	r := bench.RunAnatomy(*quick)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r.Rows()); err != nil {
+			fmt.Fprintf(os.Stderr, "npftrace: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if cmd == "critpath" {
+		fmt.Print(r.RenderCritPath())
+	} else {
+		fmt.Print(r.Render())
+	}
+	return 0
 }
 
 // runIB reproduces the Figure 3a conditions: a warm sender posting

@@ -79,6 +79,8 @@ var Required = map[string][]string{
 	},
 	"npf/internal/trace": {
 		"Tracer.Begin", "Tracer.End", "Tracer.ArgInt",
+		"Tracer.FaultMinted", "Tracer.FaultStageAt", "Tracer.FaultDone",
+		"Tracer.FaultContext",
 		"Counter.Inc", "Counter.Add", "Gauge.Set", "LatencyHist.Observe",
 	},
 	"npf/internal/workload": {

@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"npf/internal/fabric"
+	"npf/internal/kv"
+	"npf/internal/sim"
+	"npf/internal/trace"
+)
+
+// AnatomyResult is the fault-anatomy profile: the distributed-KV deployment
+// of RunKV re-run per registration policy with the causal fault recorder
+// always on, post-processed into the paper's per-stage anatomy table and a
+// critical-path extraction for the tail. Unlike the other experiments it
+// does not depend on TraceFactory — the recorder is the experiment.
+type AnatomyResult struct {
+	Policies []kv.RegPolicy
+	Stages   []map[string]*sim.Histogram // per-policy stage -> latency (µs)
+	Paths    [][]trace.PathCount         // per-policy fault-path provenance
+	Crit     []*trace.CritPath           // per-policy p99 critical path (nil: no faults)
+	Faults   []int                       // completed fault records
+	Pending  []int                       // minted but never resumed by run end
+	NPFs     []uint64                    // driver NPF count, for cross-checking
+	EvDrop   []uint64                    // flight-ring events overwritten
+	RecDrop  []uint64                    // records dropped at the cap
+	SpanDrop []uint64                    // spans dropped at MaxSpans
+}
+
+// AnatomyRow is the fault_anatomy artifact section: one row per policy with
+// the headline numbers npfstat gates (see cmd/npfbench, cmd/npfstat).
+type AnatomyRow struct {
+	Policy         string  `json:"policy"`
+	Faults         int     `json:"faults"`
+	Pending        int     `json:"pending"`
+	NPFs           uint64  `json:"npfs"`
+	TotalP50Us     float64 `json:"total_p50_us"`
+	TotalP99Us     float64 `json:"total_p99_us"`
+	CritStage      string  `json:"crit_stage"` // dominant stage of the p99 tail
+	CritLayer      string  `json:"crit_layer"`
+	CritHost       int64   `json:"crit_host"`
+	CritShare      float64 `json:"crit_share"` // mean share of tail-fault totals
+	DroppedEvents  uint64  `json:"dropped_fault_events"`
+	DroppedRecords uint64  `json:"dropped_fault_records"`
+	DroppedSpans   uint64  `json:"dropped_spans"`
+}
+
+// RunAnatomy profiles the NPF lifecycle per registration policy. Each
+// policy is an independent, seed-isolated job through the sweep runner and
+// writes only its own row, so output is byte-identical for any Workers
+// fan-out; in PDES mode the partition count is fixed at two, so it is also
+// byte-identical for every Engines value.
+func RunAnatomy(quick bool) *AnatomyResult {
+	ops := 4000
+	if quick {
+		ops = 1200
+	}
+	policies := []kv.RegPolicy{kv.RegODP, kv.RegPinDown, kv.RegPinned}
+	n := len(policies)
+	res := &AnatomyResult{
+		Policies: policies,
+		Stages:   make([]map[string]*sim.Histogram, n),
+		Paths:    make([][]trace.PathCount, n),
+		Crit:     make([]*trace.CritPath, n),
+		Faults:   make([]int, n),
+		Pending:  make([]int, n),
+		NPFs:     make([]uint64, n),
+		EvDrop:   make([]uint64, n),
+		RecDrop:  make([]uint64, n),
+		SpanDrop: make([]uint64, n),
+	}
+	var jobs []func()
+	for i, pol := range policies {
+		i, pol := i, pol
+		jobs = append(jobs, func() { anatomyJob(res, i, pol, ops) })
+	}
+	runJobs(jobs)
+	return res
+}
+
+// anatomyJob is kvSweepJob with the recorder on: same deployment, same
+// reclaim waves, a different seed, and a server-tier tracer created
+// unconditionally. All fault lifecycle events land on the server partition
+// in every engine mode, which is what keeps the extraction identical.
+func anatomyJob(res *AnatomyResult, i int, pol kv.RegPolicy, ops int) {
+	fcfg := fabric.DefaultEthernet()
+	cfg := kv.Config{
+		ServerHosts: 3, ClientHosts: 1, Shards: 4, Replicas: 2,
+		Reg: pol, ExpectedKeys: 1024,
+	}
+	var (
+		eng *sim.Engine
+		g   *sim.Group
+		net *fabric.Network
+		tr  *trace.Tracer
+	)
+	if Engines >= 1 {
+		g = newBenchGroup(47, 2, fcfg.Lookahead())
+		eng = g.Engine(0)
+		tr = trace.New(eng)
+		// The client tier records on its own partition's clock; its spans
+		// never enter the anatomy (faults are a server-tier phenomenon).
+		cfg.ClientTracer = trace.New(g.Engine(1))
+		net = fabric.NewOnGroup(g, fcfg)
+	} else {
+		eng = newBenchEngine(47)
+		tr = trace.New(eng)
+		net = fabric.New(eng, fcfg)
+	}
+	svc := kv.New(eng, net, tr, cfg)
+	for _, h := range svc.Hosts {
+		h.M.Swap.ReadLatency = 200 * sim.Microsecond
+	}
+	groups := svc.Groups()
+	for w := 0; w < kvWaves; w++ {
+		at := kvWaveStart + sim.Time(w)*kvWavePeriod
+		eng.At(at, func() {
+			for _, g := range groups {
+				g.SetLimit(kvWaveFloor)
+			}
+		})
+		eng.At(at+kvWaveHold, func() {
+			for _, g := range groups {
+				g.SetLimit(0)
+			}
+		})
+	}
+	wl := svc.NewWorkload(kv.WorkloadConfig{
+		TargetOps: ops, Keys: 1024, ZipfS: 1.1, GetRatio: 0.9,
+		Prepopulate: true, FrontCacheEntries: 32,
+	})
+	wl.OnDone = func() {
+		svc.ClientEngine().After(300*sim.Millisecond, func() { svc.Stop() })
+	}
+	wl.Start()
+	if g != nil {
+		g.RunUntil(120 * sim.Second)
+	} else {
+		eng.RunUntil(120 * sim.Second)
+	}
+
+	recs := tr.FaultRecords()
+	res.Stages[i] = trace.FaultStageBreakdown(recs)
+	res.Paths[i] = trace.FaultPathCounts(recs)
+	res.Crit[i] = trace.CriticalPath(recs, 99)
+	res.Faults[i] = len(recs)
+	res.Pending[i] = tr.PendingFaults()
+	res.NPFs[i] = svc.NPFs()
+	res.EvDrop[i] = tr.DroppedFaultEvents()
+	res.RecDrop[i] = tr.DroppedFaultRecords()
+	res.SpanDrop[i] = tr.DroppedSpans()
+}
+
+// Rows flattens the result into the fault_anatomy artifact section.
+func (r *AnatomyResult) Rows() []AnatomyRow {
+	rows := make([]AnatomyRow, len(r.Policies))
+	for i, pol := range r.Policies {
+		row := AnatomyRow{
+			Policy: pol.String(), Faults: r.Faults[i], Pending: r.Pending[i],
+			NPFs:      r.NPFs[i],
+			CritStage: "-", CritLayer: "-", CritHost: -1,
+			DroppedEvents: r.EvDrop[i], DroppedRecords: r.RecDrop[i],
+			DroppedSpans: r.SpanDrop[i],
+		}
+		if tot := r.Stages[i]["total"]; tot != nil && tot.Count() > 0 {
+			row.TotalP50Us = tot.Percentile(50)
+			row.TotalP99Us = tot.Percentile(99)
+		}
+		if c := r.Crit[i]; c != nil && len(c.Stages) > 0 {
+			row.CritStage = c.Stages[0].Stage
+			row.CritLayer = c.Stages[0].Layer
+			row.CritHost = c.Stages[0].Host
+			row.CritShare = c.Stages[0].MeanShare
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// Render prints the per-policy anatomy tables and critical paths. No wall
+// clock, no map order: the output is byte-identical for any -parallel and
+// -engines budget (the acceptance bar npftrace anatomy is gated on).
+func (r *AnatomyResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fault anatomy: causal NPF lifecycle per registration policy\n")
+	fmt.Fprintf(&b, "(3 servers x 4 shards x 2 replicas; %d reclaim waves to %d KB per group)\n",
+		kvWaves, kvWaveFloor>>10)
+	for i, pol := range r.Policies {
+		fmt.Fprintf(&b, "\n== policy %s ==\n", pol)
+		fmt.Fprintf(&b, "faults %d completed, %d pending; driver NPFs %d\n",
+			r.Faults[i], r.Pending[i], r.NPFs[i])
+		if len(r.Paths[i]) > 0 {
+			b.WriteString("paths:")
+			for _, p := range r.Paths[i] {
+				fmt.Fprintf(&b, " %s:%d", p.Name, p.N)
+			}
+			b.WriteString("\n")
+		}
+		if r.EvDrop[i]+r.RecDrop[i]+r.SpanDrop[i] > 0 {
+			fmt.Fprintf(&b, "dropped: %d flight events, %d records, %d spans\n",
+				r.EvDrop[i], r.RecDrop[i], r.SpanDrop[i])
+		}
+		if r.Faults[i] == 0 {
+			b.WriteString("(no faults: nothing to dissect)\n")
+			continue
+		}
+		trace.WriteStageTable(&b, r.Stages[i])
+		r.Crit[i].Write(&b)
+	}
+	return b.String()
+}
+
+// RenderCritPath prints only the per-policy critical paths (npftrace
+// critpath).
+func (r *AnatomyResult) RenderCritPath() string {
+	var b strings.Builder
+	b.WriteString("Critical path of tail faults per registration policy\n")
+	for i, pol := range r.Policies {
+		fmt.Fprintf(&b, "\n== policy %s ==\n", pol)
+		if r.Crit[i] == nil {
+			b.WriteString("(no faults: nothing to dissect)\n")
+			continue
+		}
+		r.Crit[i].Write(&b)
+	}
+	return b.String()
+}

@@ -82,7 +82,19 @@ type Report struct {
 	Shed        uint64
 	GroupEvicts uint64
 	KVp99Us     float64
+
+	// Flight-recorder excerpt, attached only when an invariant failed:
+	// the last causal fault events before the end of the run, rendered and
+	// digested so same-seed failures are byte-comparable.
+	FlightRecorder string
+	FlightEvents   int
+	FlightDigest   uint64
 }
+
+// flightExcerptEvents bounds the flight-recorder dump attached to a failing
+// report: enough tail to see the faults in flight when the invariant broke,
+// small enough to read in CI logs.
+const flightExcerptEvents = 64
 
 // check records a failed invariant.
 func (r *Report) check(ok bool, format string, args ...any) {
@@ -91,9 +103,21 @@ func (r *Report) check(ok bool, format string, args ...any) {
 	}
 }
 
-// finish seals the report.
-func (r *Report) finish() *Report {
+// finish seals the report. When an invariant failed and the scenario ran
+// with a tracer, it attaches the flight-recorder excerpt: the last causal
+// fault lifecycle events, sorted into total order and digested.
+func (r *Report) finish(tr *trace.Tracer) *Report {
 	r.Pass = len(r.Failures) == 0
+	if !r.Pass && tr != nil {
+		ev := tr.FlightExcerpt(flightExcerptEvents)
+		if len(ev) > 0 {
+			var b strings.Builder
+			trace.WriteFlightRecorder(&b, ev)
+			r.FlightRecorder = b.String()
+			r.FlightEvents = len(ev)
+			r.FlightDigest = trace.DigestFaultEvents(ev)
+		}
+	}
 	return r
 }
 
@@ -115,6 +139,13 @@ func (r *Report) Render() string {
 	}
 	for _, f := range r.Failures {
 		fmt.Fprintf(&b, "  FAIL: %s\n", f)
+	}
+	if r.FlightRecorder != "" {
+		fmt.Fprintf(&b, "  flight recorder: last %d fault events (digest %016x)\n",
+			r.FlightEvents, r.FlightDigest)
+		for _, line := range strings.Split(strings.TrimRight(r.FlightRecorder, "\n"), "\n") {
+			fmt.Fprintf(&b, "    %s\n", line)
+		}
 	}
 	return b.String()
 }
@@ -368,7 +399,7 @@ func runLossBurst(seed int64) *Report {
 	ethTraffic(e, r, 200, 2000, sim.Millisecond, 20*sim.Microsecond, 120*sim.Second)
 	r.check(r.InjectedDrops > 0, "fault never fired: no injected drops")
 	r.check(r.FaultP99Us < 2000, "NPF p99 %.0f us exceeds 2 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(e.tr)
 }
 
 func runInvalidateWhileParked(seed int64) *Report {
@@ -394,7 +425,7 @@ func runInvalidateWhileParked(seed int64) *Report {
 	ethTraffic(e, r, 150, 2000, sim.Millisecond, 25*sim.Microsecond, 120*sim.Second)
 	r.check(r.InvDuplicates > 0, "fault never fired: no duplicated invalidations")
 	r.check(r.FaultP99Us < 5000, "NPF p99 %.0f us exceeds 5 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(e.tr)
 }
 
 func runThrashUnderPressure(seed int64) *Report {
@@ -412,7 +443,7 @@ func runThrashUnderPressure(seed int64) *Report {
 	// Re-faulting dirty evicted buffers reads swap (10 ms majors): the tail
 	// is allowed to reach tens of milliseconds but must stay bounded.
 	r.check(r.FaultP99Us < 50000, "NPF p99 %.0f us exceeds 50 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(e.tr)
 }
 
 func runSlowResolver(seed int64) *Report {
@@ -431,7 +462,7 @@ func runSlowResolver(seed int64) *Report {
 	r.check(r.ResolverTimeouts > 0, "fault never fired: no resolver timeouts")
 	r.check(r.DegradedPins > 0, "escape hatch never tripped: no degraded pins")
 	r.check(r.FaultP99Us < 10000, "NPF p99 %.0f us exceeds 10 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(e.tr)
 }
 
 func runColdRingStorm(seed int64) *Report {
@@ -444,7 +475,7 @@ func runColdRingStorm(seed int64) *Report {
 	ethTraffic(e, r, 300, 4000, sim.Millisecond, 5*sim.Microsecond, 120*sim.Second)
 	r.check(e.sDev.RxToBackup.N > 0, "cold ring never parked a packet")
 	r.check(r.FaultP99Us < 10000, "NPF p99 %.0f us exceeds 10 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(e.tr)
 }
 
 // ---------------------------------------------------------------------------
@@ -516,5 +547,5 @@ func runLinkFlap(seed int64) *Report {
 	r.check(completed == msgs, "lost send completions: %d of %d", completed, msgs)
 	r.check(r.Retransmits > 0, "fault never fired: no retransmissions")
 	r.check(r.FaultP99Us < 2000, "NPF p99 %.0f us exceeds 2 ms", r.FaultP99Us)
-	return r.finish()
+	return r.finish(tr)
 }

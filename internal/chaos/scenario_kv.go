@@ -166,7 +166,7 @@ func runKVInvalidationStorm(seed int64) *Report {
 	runKVWorkload(r, env, wl)
 	r.check(r.NPFs > 0, "fault never fired: no network page faults")
 	r.check(r.InvDuplicates > 0, "fault never fired: no duplicated invalidations")
-	return r.finish()
+	return r.finish(env.tr)
 }
 
 func runKVReplicaLinkFlap(seed int64) *Report {
@@ -195,7 +195,7 @@ func runKVReplicaLinkFlap(seed int64) *Report {
 	runKVWorkload(r, env, wl)
 	r.check(r.Failovers > 0, "fault never fired: severed primary was not failed over")
 	r.check(r.Resyncs > 0, "rejoined host never resynced")
-	return r.finish()
+	return r.finish(env.tr)
 }
 
 func runKVMemoryPressure(seed int64) *Report {
@@ -219,5 +219,5 @@ func runKVMemoryPressure(seed int64) *Report {
 	})
 	runKVWorkload(r, env, wl)
 	r.check(r.GroupEvicts > 0, "fault never fired: no cgroup evictions")
-	return r.finish()
+	return r.finish(env.tr)
 }

@@ -4,6 +4,7 @@ import (
 	"npf/internal/mem"
 	"npf/internal/nic"
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // pendingRx is one queued receive-fault entry plus how many resolution
@@ -71,7 +72,12 @@ func (st *chanState) pump() {
 	}
 	// The packet stops being "parked" once T starts serving it.
 	st.d.tr.End(e.Parked)
-	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost, e.Span, p.attempt,
+	if e.Packet != nil && p.attempt == 0 {
+		// Backup-ring residency of the causal record: park to service start
+		// (requeued attempts accrue to the retry stages instead).
+		st.d.tr.FaultStageAt(e.Fault, trace.FSParked, e.Start, st.d.Eng.Now()-e.Start, e.Index, e.BitIndex)
+	}
+	st.d.serveFault(st.ch.AS, st.ch.Domain, pages, true, e.Start, 0, copyCost, e.Span, e.Fault, p.attempt,
 		func() {
 			if e.Packet != nil {
 				// The OS may have reclaimed the buffer again while T
@@ -89,6 +95,8 @@ func (st *chanState) pump() {
 			} else {
 				ring.ClearInflight(e.Index)
 			}
+			// The receive flow is unblocked now: close the causal record.
+			st.d.tr.FaultDone(e.Fault, st.d.Eng.Now())
 			st.busy = false
 			st.pump()
 		},

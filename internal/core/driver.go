@@ -309,6 +309,7 @@ func (d *Driver) registerNotifier(as *mem.AddressSpace, dom *iommu.Domain) {
 		cost += unmapCost + d.Cfg.UpdateCost
 		d.Inv.Total.AddTime(cost)
 		d.lInv.Observe(cost)
+		d.tr.FaultContext(trace.FSInvalidate, d.Eng.Now(), cost, int64(first), int64(removed))
 		if d.tr.Enabled() {
 			now := d.Eng.Now()
 			id := d.tr.Span(0, "inv", "invalidate", now, now+cost)
@@ -329,6 +330,7 @@ func (d *Driver) replayInvalidate(dom *iommu.Domain, first mem.PageNum, count in
 	d.InvDuplicates.Inc()
 	d.cInvDup.Inc()
 	_, removed := dom.Unmap(first, count)
+	d.tr.FaultContext(trace.FSInvalidate, d.Eng.Now(), d.Cfg.CheckCost, int64(first), -int64(removed)-1)
 	if d.tr.Enabled() {
 		now := d.Eng.Now()
 		id := d.tr.Span(0, "inv", "invalidate-dup", now, now+d.Cfg.CheckCost)
@@ -401,11 +403,14 @@ func (d *Driver) faultCommit(as *mem.AddressSpace, dom *iommu.Domain, pages []me
 // exponential retry backoff and the DegradeToPinned escape hatch.
 func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem.PageNum,
 	write bool, start sim.Time, resumeCost, extraCost sim.Time, parent trace.SpanID,
-	attempt int, done func(), retry func()) {
+	fid trace.FaultID, attempt int, done func(), retry func()) {
 	now := d.Eng.Now()
 	trigger := now - start
 	if attempt == 0 {
 		d.outstanding++
+		// The fault-report stage of the causal record: device detection to
+		// driver service start (firmware + interrupt + report-queue wait).
+		d.tr.FaultStageAt(fid, trace.FSReport, start, trigger, int64(len(pages)), 0)
 	}
 	root := parent
 	if d.tr.Enabled() && root == 0 {
@@ -429,6 +434,7 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 			d.cResolveTO.Inc()
 			delay := d.Cfg.DispatchCost + extra + d.Cfg.RetryBackoff(attempt)
 			d.tr.Span(root, "npf.stage", "resolver-timeout", now, now+delay)
+			d.tr.FaultStageAt(fid, trace.FSResolverTimeout, now, delay, int64(attempt), int64(len(pages)))
 			d.Eng.After(delay, retry)
 			return
 		}
@@ -447,8 +453,20 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		d.cOOM.Inc()
 		backoff := d.Cfg.RetryBackoff(attempt)
 		d.tr.Span(root, "npf.stage", "oom-backoff", now, now+sw+backoff)
+		d.tr.FaultStageAt(fid, trace.FSOOMBackoff, now, sw+backoff, int64(attempt), int64(len(pages)))
 		d.Eng.After(sw+backoff, retry)
 		return
+	}
+	mjr := int64(0)
+	if major {
+		mjr = 1
+	}
+	d.tr.FaultStageAt(fid, trace.FSDriver, now, sw, int64(len(pages)), mjr)
+	if osCost > 0 {
+		d.tr.FaultStageAt(fid, trace.FSPageResolve, now+sw-extraCost-osCost, osCost, mjr, 0)
+	}
+	if extraCost > 0 {
+		d.tr.FaultStageAt(fid, trace.FSCopy, now+sw-extraCost, extraCost, 0, 0)
 	}
 	if d.tr.Enabled() {
 		drv := d.tr.Span(root, "npf.stage", "driver", now, now+sw)
@@ -489,6 +507,7 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 				id := d.tr.Span(root, "npf.stage", "degrade-pinned", now+sw, now+sw+pinCost)
 				d.tr.ArgInt(id, "pages", int64(pinned))
 			}
+			d.tr.FaultStageAt(fid, trace.FSDegradePin, now+sw, pinCost, int64(pinned), int64(attempt))
 			sw += pinCost
 		}
 	}
@@ -501,8 +520,12 @@ func (d *Driver) serveFault(as *mem.AddressSpace, dom *iommu.Domain, pages []mem
 		d.lUpdate.Observe(hw)
 		d.lResume.Observe(resumeCost)
 		d.lTotal.Observe(trigger + sw + hw + resumeCost)
+		n2 := d.Eng.Now()
+		d.tr.FaultStageAt(fid, trace.FSUpdate, n2, hw, int64(len(pages)), 0)
+		if resumeCost > 0 {
+			d.tr.FaultStageAt(fid, trace.FSResume, n2+hw, resumeCost, 0, 0)
+		}
 		if d.tr.Enabled() {
-			n2 := d.Eng.Now()
 			d.tr.Span(root, "npf.stage", "update", n2, n2+hw)
 			d.tr.Span(root, "npf.stage", "resume", n2+hw, n2+hw+resumeCost)
 			d.tr.EndAt(root, n2+hw+resumeCost)
@@ -522,9 +545,19 @@ func (d *Driver) HandleQPFault(ev rc.QPFault) { d.handleQPFault(ev, 0) }
 
 func (d *Driver) handleQPFault(ev rc.QPFault, attempt int) {
 	write := ev.Class == rc.FaultRecvRNPF || ev.Class == rc.FaultReadInitiator
+	resume := ev.QP.HCA().Cfg.FirmwareResume
+	done := ev.Resolved
+	if d.tr.Enabled() {
+		// Close the causal record when the adapter's resume completes (the
+		// commit callback runs resume-cost earlier than the QP unblocks).
+		done = func() {
+			d.tr.FaultDone(ev.Fault, d.Eng.Now()+resume)
+			ev.Resolved()
+		}
+	}
 	d.serveFault(ev.QP.AS, ev.QP.Domain, ev.Missing, write, ev.Start,
-		ev.QP.HCA().Cfg.FirmwareResume, 0, ev.Span, attempt,
-		ev.Resolved,
+		resume, 0, ev.Span, ev.Fault, attempt,
+		done,
 		func() { d.handleQPFault(ev, attempt+1) })
 }
 
@@ -535,9 +568,17 @@ func (d *Driver) handleQPFault(ev rc.QPFault, attempt int) {
 func (d *Driver) HandleTxNPF(ev nic.TxNPF) { d.handleTxNPF(ev, 0) }
 
 func (d *Driver) handleTxNPF(ev nic.TxNPF, attempt int) {
+	resume := ev.Channel.Dev.Cfg.FirmwareResume
+	done := ev.Resume
+	if d.tr.Enabled() {
+		done = func() {
+			d.tr.FaultDone(ev.Fault, d.Eng.Now()+resume)
+			ev.Resume()
+		}
+	}
 	d.serveFault(ev.Channel.AS, ev.Channel.Domain, ev.Missing, false, ev.Start,
-		ev.Channel.Dev.Cfg.FirmwareResume, 0, ev.Span, attempt,
-		ev.Resume,
+		resume, 0, ev.Span, ev.Fault, attempt,
+		done,
 		func() { d.handleTxNPF(ev, attempt+1) })
 }
 

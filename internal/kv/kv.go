@@ -333,6 +333,11 @@ func New(eng *sim.Engine, net *fabric.Network, tr *trace.Tracer, cfg Config) *Se
 	s.cRedirects = tr.Counter("kv.redirects")
 	s.cFrontHits = s.TracerC.Counter("kv.frontcache_hits")
 	s.cRetries = s.TracerC.Counter("kv.retries")
+	// Causal-recorder depth on the server tier: completed vs in-flight NPF
+	// lifecycle records (trace/fault.go), sampled per tick.
+	//npf:probepure — FaultRecordCount/PendingFaults only read recorder lengths
+	tr.Probe("kv.fault_records", func() float64 { return float64(tr.FaultRecordCount()) })
+	tr.Probe("kv.pending_faults", func() float64 { return float64(tr.PendingFaults()) })
 
 	serverIdx := make([]int, cfg.ServerHosts)
 	for i := range serverIdx {

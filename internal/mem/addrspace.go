@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"npf/internal/sim"
+	"npf/internal/trace"
 )
 
 // ErrSegv is returned when touching an address that no VMA covers.
@@ -398,6 +399,9 @@ func (as *AddressSpace) evictOldest() (int64, sim.Time, bool) {
 	}
 	as.Evicted.Inc()
 	as.m.cEvict.Inc()
+	// Reclaim context for the fault flight recorder: an eviction (and its
+	// invalidation sync) is exactly what tail-fault excerpts need to show.
+	as.m.tr.FaultContext(trace.FSReclaim, as.m.Eng.Now(), cost, int64(p.pn), 0)
 	return PageSize, cost, true
 }
 

@@ -166,7 +166,9 @@ type Machine struct {
 	// creation order — the walk set for machine-wide residency probes.
 	spaces []*AddressSpace
 
-	// Metric handles (nil = disabled; nil handles are inert).
+	// Metric handles (nil = disabled; nil handles are inert). tr feeds
+	// reclaim context events into the fault flight recorder.
+	tr     *trace.Tracer
 	cMinor *trace.Counter
 	cMajor *trace.Counter
 	cEvict *trace.Counter
@@ -178,6 +180,7 @@ type Machine struct {
 // space on the machine) into the metrics registry, and registers the
 // residency probes the sampler snapshots each tick. Safe to call with nil.
 func (m *Machine) SetTracer(tr *trace.Tracer) {
+	m.tr = tr
 	m.cMinor = tr.Counter("mem.minor_faults")
 	m.cMajor = tr.Counter("mem.major_faults")
 	m.cEvict = tr.Counter("mem.evictions")

@@ -88,6 +88,9 @@ type RxNPFEntry struct {
 	// firmware tags it with a fault token the driver echoes back.
 	Span   trace.SpanID
 	Parked trace.SpanID
+	// Fault is the causal FaultID minted at detection (always set; the
+	// recorder ignores it when tracing is off).
+	Fault trace.FaultID
 }
 
 // TxNPF describes a send-side fault: the TX queue is suspended until the
@@ -99,6 +102,8 @@ type TxNPF struct {
 	Start   sim.Time // when the device hit the fault
 	// Span is the NPF lifecycle span opened by the device (0 = tracing off).
 	Span trace.SpanID
+	// Fault is the causal FaultID minted at detection.
+	Fault trace.FaultID
 }
 
 // NPFSink is the driver (IOprovider) interface for fault events. Both
@@ -158,6 +163,7 @@ type Device struct {
 	Backup    *BackupRing
 	sink      NPFSink
 	faultHook func(sim.Time) sim.Time
+	faultSeq  uint64 // per-device FaultID sequence (fault.go)
 
 	// Tracer records NPF lifecycle spans; nil disables tracing.
 	Tracer *trace.Tracer
@@ -226,6 +232,14 @@ func (d *Device) SetTracer(tr *trace.Tracer) {
 // fault-path latency — the injection point fault injectors (internal/chaos)
 // use to model firmware stalls. nil removes it.
 func (d *Device) SetFaultDelayHook(fn func(sim.Time) sim.Time) { d.faultHook = fn }
+
+// mintFault issues the next causal FaultID for this device. Minting is
+// unconditional (a shift and an add) so IDs are identical whether or not a
+// tracer is attached — determinism does not depend on observability.
+func (d *Device) mintFault() trace.FaultID {
+	d.faultSeq++
+	return trace.MintFaultID(int64(d.Node), d.faultSeq)
+}
 
 // firmwareFaultLatency samples the firmware fault-path latency, with the
 // long-tailed jitter that produces Table 4.

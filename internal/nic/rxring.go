@@ -164,9 +164,10 @@ func (r *RxRing) recv(pkt *fabric.Packet) {
 				return // firmware already reported this descriptor's fault
 			}
 			r.inflight[idx] = true
-			entry := RxNPFEntry{Channel: r.ch, Index: idx, Missing: missing, Start: dev.Eng.Now()}
+			entry := RxNPFEntry{Channel: r.ch, Index: idx, Missing: missing, Start: dev.Eng.Now(), Fault: dev.mintFault()}
 			// The drop path goes through the slow firmware error path.
 			lat := dev.firmwareFaultLatency() + dev.Cfg.IntLatency
+			dev.Tracer.FaultMinted(entry.Fault, "rx-drop", entry.Start, int64(pkt.Src), idx, len(missing))
 			if dev.Tracer.Enabled() {
 				now := dev.Eng.Now()
 				entry.Span = dev.Tracer.BeginAt(0, "npf", "rx-drop", now)
@@ -211,12 +212,14 @@ func (r *RxRing) parkInBackup(pkt *fabric.Packet, idx int64, missing []mem.PageN
 		Missing:  missing,
 		Packet:   pkt,
 		Start:    dev.Eng.Now(),
+		Fault:    dev.mintFault(),
 	}
+	name := "rx-backup"
+	if missing == nil {
+		name = "rx-ringfull" // parked for ring room, not for paging
+	}
+	dev.Tracer.FaultMinted(e.Fault, name, e.Start, int64(pkt.Src), idx, len(missing))
 	if dev.Tracer.Enabled() {
-		name := "rx-backup"
-		if missing == nil {
-			name = "rx-ringfull" // parked for ring room, not for paging
-		}
 		now := dev.Eng.Now()
 		e.Span = dev.Tracer.BeginAt(0, "npf", name, now)
 		dev.Tracer.ArgInt(e.Span, "idx", idx)

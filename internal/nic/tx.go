@@ -80,7 +80,9 @@ func (q *TxQueue) kick() {
 			}
 			// Firmware detects the fault and raises the NPF interrupt
 			// (components i–ii).
+			ev.Fault = dev.mintFault()
 			lat := dev.firmwareFaultLatency() + dev.Cfg.IntLatency
+			dev.Tracer.FaultMinted(ev.Fault, "tx", ev.Start, -1, int64(d.Dst), len(missing))
 			if dev.Tracer.Enabled() {
 				now := dev.Eng.Now()
 				ev.Span = dev.Tracer.BeginAt(0, "npf", "tx", now)

@@ -66,6 +66,8 @@ type QPFault struct {
 	// Span is the NPF lifecycle span the adapter opened for this fault
 	// (0 = tracing off) — the firmware's fault token, echoed by the driver.
 	Span trace.SpanID
+	// Fault is the causal FaultID minted at detection.
+	Fault trace.FaultID
 	// Resolved must be called by the driver once the pages are resident
 	// and mapped in the QP's IOMMU domain; it triggers the firmware-resume
 	// path.
@@ -168,6 +170,7 @@ type HCA struct {
 	nextQP    QPN
 	sink      FaultSink
 	faultHook func(sim.Time) sim.Time
+	faultSeq  uint64 // per-adapter FaultID sequence (trace/fault.go)
 
 	// Tracer records NPF/RNR lifecycle spans; nil disables tracing.
 	Tracer *trace.Tracer
@@ -252,7 +255,16 @@ func (h *HCA) raiseFault(ev QPFault) {
 	if h.sink == nil {
 		panic("rc: NPF with no fault sink attached (ODP used without a driver)")
 	}
+	h.faultSeq++
+	ev.Fault = trace.MintFaultID(int64(h.Node), h.faultSeq)
+	// The cross-host edge: every class but send-local was tripped by the
+	// connected peer's op.
+	origin := int64(-1)
+	if ev.Class != FaultSendLocal {
+		origin = int64(ev.QP.peerNode)
+	}
 	lat := h.firmwareFaultLatency() + h.Cfg.IntLatency
+	h.Tracer.FaultMinted(ev.Fault, ev.Class.String(), ev.Start, origin, int64(ev.QP.QPN), len(ev.Missing))
 	if h.Tracer.Enabled() {
 		now := h.Eng.Now()
 		ev.Span = h.Tracer.BeginAt(0, "npf", ev.Class.String(), now)

@@ -141,6 +141,62 @@ func TestHistogramMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestHistogramLazySortInterleaved pins the lazy-sort cache: interleaving
+// Add/Merge with Percentile/Min/Max (each of which sorts and memoises) must
+// return exactly what a sort-once oracle — every sample added up front, one
+// query pass at the end — returns. A stale `sorted` flag after Add or Merge
+// would surface here as a percentile computed over a half-sorted slice.
+// Runs under the CI -race pass.
+func TestHistogramLazySortInterleaved(t *testing.T) {
+	r := NewRand(99)
+	var h Histogram
+	var oracle Histogram
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 1e4
+			h.Add(v)
+			oracle.Add(v)
+		}
+	}
+	check := func(step string) {
+		t.Helper()
+		// A fresh copy of the oracle's samples, sorted exactly once.
+		var once Histogram
+		for _, v := range append([]float64(nil), oracle.samples...) {
+			once.Add(v)
+		}
+		once.sort()
+		for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+			if got, want := h.Percentile(p), once.Percentile(p); got != want {
+				t.Fatalf("%s: p%.0f = %v, want %v", step, p, got, want)
+			}
+		}
+		if h.Min() != once.Min() || h.Max() != once.Max() {
+			t.Fatalf("%s: min/max %v/%v, want %v/%v", step, h.Min(), h.Max(), once.Min(), once.Max())
+		}
+	}
+
+	feed(100)
+	check("after first batch")
+	// Query, then add more: the cached sort must be invalidated.
+	feed(57)
+	check("after interleaved adds")
+	// Merge after a query must also invalidate.
+	var side Histogram
+	for i := 0; i < 31; i++ {
+		v := r.Float64() * 1e4
+		side.Add(v)
+		oracle.Add(v)
+	}
+	_ = side.Percentile(50) // side is pre-sorted when merged
+	h.Merge(&side)
+	check("after merge")
+	// Repeated queries with no writes stay cached and stay right.
+	check("repeat query")
+	feed(1)
+	check("single trailing add")
+}
+
 func TestRandDeterminism(t *testing.T) {
 	a, b := NewRand(5), NewRand(5)
 	for i := 0; i < 1000; i++ {

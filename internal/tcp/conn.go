@@ -52,7 +52,9 @@ type Conn struct {
 	// retxSpan covers one retransmission episode: opened at the first RTO,
 	// closed when new data is finally acknowledged (or the connection
 	// fails). Under the cold-ring problem these stretch to seconds.
-	retxSpan trace.SpanID
+	// retxStart is its open time, for the flight-recorder context event.
+	retxSpan  trace.SpanID
+	retxStart sim.Time
 }
 
 func newConn(s *Stack, id uint64, peerNode fabric.NodeID, peerFlow fabric.FlowID, st ConnState) *Conn {
@@ -147,6 +149,8 @@ func (c *Conn) fail() {
 	if c.retxSpan != 0 {
 		c.stack.tr.ArgStr(c.retxSpan, "result", "failed")
 		c.stack.tr.End(c.retxSpan)
+		// Context event: a failed retx episode (B = -1 marks failure).
+		c.stack.tr.FaultContext(trace.FSRetx, c.retxStart, c.stack.tr.Now()-c.retxStart, int64(c.id), -1)
 		c.retxSpan = 0
 	}
 	if c.OnFail != nil {
@@ -230,6 +234,7 @@ func (c *Conn) handleAck(ack uint64) {
 			// The episode ends when the peer finally acknowledges new data.
 			c.stack.tr.ArgInt(c.retxSpan, "retries", int64(c.retries))
 			c.stack.tr.End(c.retxSpan)
+			c.stack.tr.FaultContext(trace.FSRetx, c.retxStart, c.stack.tr.Now()-c.retxStart, int64(c.id), int64(c.retries))
 			c.retxSpan = 0
 		}
 		c.retries = 0
@@ -330,6 +335,7 @@ func (c *Conn) onRTO() {
 	if c.stack.tr.Enabled() && c.retxSpan == 0 {
 		c.retxSpan = c.stack.tr.Begin(0, "tcp", "retx-episode")
 		c.stack.tr.ArgInt(c.retxSpan, "conn", int64(c.id))
+		c.retxStart = c.stack.tr.Now()
 	}
 	// Loss is taken as congestion: collapse the window, go back to the
 	// first unacked segment (go-back-N), and back the timer off.

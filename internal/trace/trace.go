@@ -90,6 +90,13 @@ type Tracer struct {
 	spans   []Span
 	dropped uint64
 
+	// MaxFaultEvents / MaxFaultRecords bound the fault flight recorder
+	// (fault.go); 0 means the defaults, < 0 unlimited. fr is created on
+	// first fault event so span-only tracers pay nothing.
+	MaxFaultEvents  int
+	MaxFaultRecords int
+	fr              *flightRecorder
+
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	lats     map[string]*LatencyHist

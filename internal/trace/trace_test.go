@@ -143,6 +143,17 @@ func TestTracerDisabledNoAlloc(t *testing.T) {
 		l.Observe(us(7))
 		tr.Count("core.npfs", 1)
 		tr.Probe("nic.rx_ring_occupancy", zeroProbe)
+		fid := MintFaultID(2, 7)
+		tr.FaultMinted(fid, "rx-drop", us(1), 1, 0, 4)
+		tr.FaultStageAt(fid, FSReport, us(1), us(2), 0, 0)
+		tr.FaultContext(FSInvalidate, us(3), us(1), 0, 0)
+		tr.FaultDone(fid, us(9))
+		if tr.FaultRecordCount() != 0 || tr.PendingFaults() != 0 {
+			t.Fatal("nil tracer recorded a fault")
+		}
+		if tr.DroppedFaultEvents() != 0 || tr.DroppedFaultRecords() != 0 || tr.DroppedSpans() != 0 {
+			t.Fatal("nil tracer dropped something")
+		}
 		s.SetMaxSamples(4)
 		if s.Len() != 0 || s.Truncated() || s.Interval() != 0 || s.Series() != nil {
 			t.Fatal("nil sampler is not inert")
@@ -163,6 +174,7 @@ func BenchmarkTracerDisabled(b *testing.B) {
 	l := tr.Latency("core.npf_total_us")
 	s := tr.StartSampler(us(10))
 	b.ReportAllocs()
+	fid := MintFaultID(2, 7)
 	for i := 0; i < b.N; i++ {
 		id := tr.Begin(0, "npf", "recv-rnpf")
 		tr.ArgInt(id, "pages", 4)
@@ -171,6 +183,10 @@ func BenchmarkTracerDisabled(b *testing.B) {
 		g.Set(5)
 		l.Observe(us(7))
 		tr.Probe("nic.rx_ring_occupancy", zeroProbe)
+		tr.FaultMinted(fid, "rx-drop", us(1), 1, 0, 4)
+		tr.FaultStageAt(fid, FSReport, us(1), us(2), 0, 0)
+		tr.FaultContext(FSInvalidate, us(3), us(1), 0, 0)
+		tr.FaultDone(fid, us(9))
 		s.SetMaxSamples(4)
 	}
 }

@@ -99,8 +99,15 @@ diff "$tmp1" "$tmp4" || { echo "kv ablation differs between -engines 1 and 4" >&
 go run ./cmd/npfbench -quick -engines 1 scaleout | sed 's/(wall [^)]*)//' > "$tmp1"
 go run ./cmd/npfbench -quick -engines 4 scaleout | sed 's/(wall [^)]*)//' > "$tmp4"
 diff "$tmp1" "$tmp4" || { echo "scale-out sweep differs between -engines 1 and 4" >&2; exit 1; }
+# Fault-anatomy determinism: the profiler's rendering carries no wall
+# clock at all, so the diff needs no stripping. The critpath subcommand
+# rides along as a render smoke.
+go run ./cmd/npftrace anatomy -quick -engines 1 > "$tmp1"
+go run ./cmd/npftrace anatomy -quick -engines 4 > "$tmp4"
+diff "$tmp1" "$tmp4" || { echo "fault anatomy differs between -engines 1 and 4" >&2; exit 1; }
+go run ./cmd/npftrace critpath -quick > /dev/null
 rm -f "$tmp1" "$tmp4"
-echo "engines matrix ok (chaos + kv + scaleout, -engines 1 vs 4)"
+echo "engines matrix ok (chaos + kv + scaleout + anatomy, -engines 1 vs 4)"
 
 # npflint: the determinism contracts (no wall clock in sim layers, no
 # order-dependent map walks, sim.Time-only signatures, nil-safe tracer
@@ -123,7 +130,7 @@ echo "== npfbench -json artifact check =="
 tmpjson=$(mktemp)
 tmpseries=$(mktemp)
 trap 'rm -f "$tmpjson" "$tmpseries"' EXIT
-go run ./cmd/npfbench -quick -parallel 0 -series "$tmpseries" -json "$tmpjson" fig3 ablate kv > /dev/null
+go run ./cmd/npfbench -quick -parallel 0 -series "$tmpseries" -json "$tmpjson" fig3 ablate kv anatomy > /dev/null
 python3 - "$tmpjson" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -134,7 +141,7 @@ assert doc["engine_bench"]["events_per_sec"] > 0, doc["engine_bench"]
 assert doc["series"]["samples"] > 0 and doc["series"]["metrics"] > 0, doc.get("series")
 assert len(doc["series"]["digest"]) == 16, doc["series"]
 names = [e["name"] for e in doc["experiments"]]
-assert names == ["fig3", "ablate", "kv"], names
+assert names == ["fig3", "ablate", "kv", "anatomy"], names
 for e in doc["experiments"]:
     assert e["engines"] > 0 and e["events"] > 0, e
 kv = doc["kv"]
@@ -147,23 +154,39 @@ print("artifact ok:", ", ".join(
     f"{e['name']}={e['events']} events/{e['engines']} engines" for e in doc["experiments"]))
 print("kv ablation ok:", ", ".join(
     f"{r['policy']}: p99={r['p99_us']:.0f}us npfs={r['npfs']}" for r in kv))
+an = doc["fault_anatomy"]
+assert [r["policy"] for r in an] == ["odp", "pin-down-cache", "pinned"], an
+assert an[0]["faults"] > 0 and an[0]["pending"] == 0, an[0]
+assert an[0]["faults"] == an[0]["npfs"], an[0]          # every NPF dissected
+assert an[0]["crit_stage"] == "fault-report" and an[0]["crit_layer"] == "hw", an[0]
+assert an[0]["total_p99_us"] > an[0]["total_p50_us"] > 0, an[0]
+assert an[-1]["faults"] == 0 and an[-1]["crit_stage"] == "-", an[-1]  # pinned: no faults
+for r in an:
+    assert r["dropped_fault_events"] == 0 and r["dropped_fault_records"] == 0, r
+td = doc["trace_drops"]
+assert td["tracers"] > 0, td
+assert td["dropped_spans"] == 0 and td["dropped_fault_events"] == 0, td
+print("fault anatomy ok:", ", ".join(
+    f"{r['policy']}: faults={r['faults']} crit={r['crit_stage']}" for r in an))
 EOF
 
 # npfstat regression gate: the quick run above must stay within generous
-# deltas of the committed baseline (BENCH_pr7.json, the current reference:
-# the quick fig3/ablate/kv suite plus the KV ablation and PDES scaling
-# sections). Structural drift (missing experiments, engine-count changes,
-# any event-count delta — engines and events gate exactly — KV metric
-# drift beyond -count-tol, allocs/op regressions) hard-fails; wall-clock
-# deltas are machine noise and only warn. The baseline was captured with
-# the same -series flag as the run above, so sampler tick events match
-# exactly; regenerate it with
+# deltas of the committed baseline (BENCH_pr10.json, the current
+# reference: the quick fig3/ablate/kv/anatomy suite plus the KV ablation,
+# fault-anatomy, and PDES scaling sections). Structural drift (missing
+# experiments, engine-count changes, any event-count delta — engines and
+# events gate exactly — KV metric drift beyond -count-tol, fault-anatomy
+# drift: faults/pending and the critical-path stage/layer/host exactly,
+# percentiles within -count-tol, allocs/op regressions) hard-fails;
+# wall-clock deltas are machine noise and only warn, and dropped-telemetry
+# counts warn. The baseline was captured with the same -series flag as the
+# run above, so sampler tick events match exactly; regenerate it with
 #   go run ./cmd/npfbench -quick -parallel 0 -series /dev/null \
-#       -json BENCH_pr7.json fig3 ablate kv scale
+#       -json BENCH_pr10.json fig3 ablate kv anatomy scale
 # (the trailing scale experiment adds the scaling section; the diff
 # ignores baseline-only sections, so CI skips re-measuring it).
 echo "== npfstat regression gate =="
-go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr7.json "$tmpjson"
+go run ./cmd/npfstat -count-tol 0.10 -baseline BENCH_pr10.json "$tmpjson"
 
 # Scale-out fleet gate: re-run the full 1,008-host / 101,000-client cluster
 # sweep (both transports, the fixed 8-partition group, ~10 s at -engines 8)
